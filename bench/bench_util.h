@@ -1,0 +1,71 @@
+// Shared helpers for the experiment drivers (bench/table*, bench/fig*):
+// detection predicates, timing wrappers and table printing.
+
+#ifndef TYCOS_BENCH_BENCH_UTIL_H_
+#define TYCOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/window.h"
+#include "core/window_similarity.h"
+#include "datagen/relations.h"
+
+namespace tycos {
+namespace bench {
+
+// True when any reported window covers the planted relation's X range with
+// at least `min_jaccard` overlap. When `delay_tolerance` >= 0, the window's
+// delay must additionally land within that many samples of the planted lag
+// (methods without a delay axis report τ = 0 and are judged accordingly);
+// pass -1 to accept any delay.
+inline bool Detects(const std::vector<Window>& reported,
+                    const datagen::PlantedRelation& planted,
+                    double min_jaccard = 0.25,
+                    int64_t delay_tolerance = -1) {
+  const Window truth = planted.AsWindow();
+  for (const Window& w : reported) {
+    if (IndexJaccard(w, truth) < min_jaccard) continue;
+    if (delay_tolerance >= 0 &&
+        std::llabs(w.delay - planted.delay) > delay_tolerance) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+// Detection verdict for one relation: for kIndependent a method is correct
+// when it reports *nothing* over the independent stretch (at any delay);
+// for every other relation it must locate it at (close to) the right lag.
+inline bool Correct(const std::vector<Window>& reported,
+                    const datagen::PlantedRelation& planted,
+                    int64_t delay_tolerance = 16) {
+  if (planted.type == datagen::RelationType::kIndependent) {
+    return !Detects(reported, planted, 0.25, /*delay_tolerance=*/-1);
+  }
+  return Detects(reported, planted, 0.25, delay_tolerance);
+}
+
+inline const char* Mark(bool ok) { return ok ? "yes" : " - "; }
+
+// Runs fn and returns elapsed wall-clock seconds.
+inline double TimeIt(const std::function<void()>& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.ElapsedSeconds();
+}
+
+inline void PrintRule(int width = 98) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace tycos
+
+#endif  // TYCOS_BENCH_BENCH_UTIL_H_

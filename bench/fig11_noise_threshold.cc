@@ -1,0 +1,66 @@
+// Fig. 11 reproduction: effect of the noise threshold ε on (a) the error
+// rate — windows TYCOS_L finds that TYCOS_LN misses — and (b) the runtime
+// gain of TYCOS_LN over TYCOS_L, as ε/σ grows. More aggressive pruning is
+// faster and lossier.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/relations.h"
+#include "search/tycos.h"
+
+namespace {
+
+using namespace tycos;
+using tycos::bench::TimeIt;
+
+TycosParams Params() {
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 24;
+  p.s_max = 320;
+  p.td_max = 32;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 11: effect of the noise threshold eps/sigma ===\n");
+
+  const datagen::SyntheticDataset ds =
+      datagen::SyntheticWorkload(3, 6000, /*seed=*/11);
+
+  // Baseline: TYCOS_L (no noise theory).
+  const TycosParams base = Params();
+  WindowSet l_result;
+  double l_seconds = 0.0;
+  {
+    Tycos search(ds.pair, base, TycosVariant::kL);
+    l_seconds = TimeIt([&] { l_result = search.Run(); });
+  }
+  std::printf("TYCOS_L baseline: %zu windows in %.3f s\n\n", l_result.size(),
+              l_seconds);
+
+  std::printf("%10s %12s %14s %14s %12s\n", "eps/sigma", "windows",
+              "error rate %", "runtime gain %", "seconds");
+  tycos::bench::PrintRule(68);
+  for (double ratio : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50, 0.70,
+                       0.90}) {
+    TycosParams p = Params();
+    p.epsilon_ratio = ratio;
+    Tycos search(ds.pair, p, TycosVariant::kLN);
+    WindowSet ln_result;
+    const double ln_seconds = TimeIt([&] { ln_result = search.Run(); });
+
+    const double recovered = l_result.empty()
+                                 ? 100.0
+                                 : CoverageRecallPercent(l_result.windows(),
+                                                         ln_result.windows());
+    const double error_rate = 100.0 - recovered;
+    const double gain = 100.0 * (l_seconds - ln_seconds) / l_seconds;
+    std::printf("%10.2f %12zu %14.1f %14.1f %12.3f\n", ratio,
+                ln_result.size(), error_rate, gain, ln_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Micro-benchmark: FFT substrate (radix-2 vs Bluestein sizes) and the
+// sliding-dot-product kernel that powers MASS / MatrixProfile.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+#include "fft/sliding_dot.h"
+
+namespace {
+
+using namespace tycos;
+
+void BM_FftPowerOfTwo(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Complex> data(static_cast<size_t>(state.range(0)));
+  for (auto& c : data) c = Complex(rng.Normal(), rng.Normal());
+  for (auto _ : state) {
+    std::vector<Complex> copy = data;
+    Fft(&copy, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_FftPowerOfTwo)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void BM_FftBluestein(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Complex> data(static_cast<size_t>(state.range(0)));
+  for (auto& c : data) c = Complex(rng.Normal(), rng.Normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FftAnySize(data, false));
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(12289)->Unit(benchmark::kMicrosecond);
+
+void BM_MassDistanceProfile(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> series(static_cast<size_t>(state.range(0)));
+  for (auto& v : series) v = rng.Normal();
+  std::vector<double> query(series.begin(), series.begin() + 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MassDistanceProfile(query, series));
+  }
+}
+BENCHMARK(BM_MassDistanceProfile)
+    ->Arg(4096)
+    ->Arg(32768)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Micro-benchmark: the Section 7 incremental MI computation vs recomputing
+// each window from scratch, for the window-edit patterns the LAHC search
+// actually generates (grow by δ, slide by δ). This is the ablation behind
+// the TYCOS_LM speedups of Fig. 9.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "mi/incremental_ksg.h"
+#include "mi/ksg.h"
+
+namespace {
+
+using namespace tycos;
+
+SeriesPair MakePair(int64_t n) {
+  Rng rng(5);
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.Normal();
+    y[static_cast<size_t>(i)] = 0.6 * x[static_cast<size_t>(i)] + rng.Normal();
+  }
+  return SeriesPair(TimeSeries(std::move(x)), TimeSeries(std::move(y)));
+}
+
+// Grow the window end by δ repeatedly, recomputing from scratch each time.
+void BM_GrowScratch(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  static const SeriesPair pair = MakePair(20000);
+  KsgOptions o;
+  for (auto _ : state) {
+    for (int64_t step = 0; step < 16; ++step) {
+      benchmark::DoNotOptimize(KsgMi(pair, Window(0, m - 1 + 4 * step, 0), o));
+    }
+  }
+}
+BENCHMARK(BM_GrowScratch)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// The same edit sequence through the incremental estimator.
+void BM_GrowIncremental(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  static const SeriesPair pair = MakePair(20000);
+  for (auto _ : state) {
+    IncrementalKsg inc(pair, 4);
+    for (int64_t step = 0; step < 16; ++step) {
+      benchmark::DoNotOptimize(inc.SetWindow(Window(0, m - 1 + 4 * step, 0)));
+    }
+  }
+}
+BENCHMARK(BM_GrowIncremental)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_SlideScratch(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  static const SeriesPair pair = MakePair(20000);
+  KsgOptions o;
+  for (auto _ : state) {
+    for (int64_t step = 0; step < 16; ++step) {
+      benchmark::DoNotOptimize(
+          KsgMi(pair, Window(4 * step, m - 1 + 4 * step, 0), o));
+    }
+  }
+}
+BENCHMARK(BM_SlideScratch)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_SlideIncremental(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  static const SeriesPair pair = MakePair(20000);
+  for (auto _ : state) {
+    IncrementalKsg inc(pair, 4);
+    for (int64_t step = 0; step < 16; ++step) {
+      benchmark::DoNotOptimize(
+          inc.SetWindow(Window(4 * step, m - 1 + 4 * step, 0)));
+    }
+  }
+}
+BENCHMARK(BM_SlideIncremental)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

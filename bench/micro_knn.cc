@@ -1,0 +1,86 @@
+// Micro-benchmark: kNN backends (brute scan vs k-d tree) and the Fenwick
+// rank index — the data-structure ablation of Section 5.1's complexity
+// discussion.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "knn/brute_knn.h"
+#include "knn/grid_index.h"
+#include "knn/kd_tree.h"
+#include "knn/rank_index.h"
+
+namespace {
+
+using namespace tycos;
+
+std::vector<Point2> MakePoints(int64_t m) {
+  Rng rng(7);
+  std::vector<Point2> pts(static_cast<size_t>(m));
+  for (auto& p : pts) {
+    p.x = rng.Normal();
+    p.y = rng.Normal();
+  }
+  return pts;
+}
+
+void BM_BruteAllPoints(benchmark::State& state) {
+  const auto pts = MakePoints(state.range(0));
+  for (auto _ : state) {
+    for (size_t i = 0; i < pts.size(); ++i) {
+      benchmark::DoNotOptimize(BruteKnnExtents(pts, i, 4));
+    }
+  }
+}
+BENCHMARK(BM_BruteAllPoints)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_KdTreeBuildAndQueryAll(benchmark::State& state) {
+  const auto pts = MakePoints(state.range(0));
+  for (auto _ : state) {
+    KdTree tree(pts);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      benchmark::DoNotOptimize(tree.QueryExtents(i, 4));
+    }
+  }
+}
+BENCHMARK(BM_KdTreeBuildAndQueryAll)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GridBuildAndQueryAll(benchmark::State& state) {
+  const auto pts = MakePoints(state.range(0));
+  for (auto _ : state) {
+    GridIndex grid(pts);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      benchmark::DoNotOptimize(grid.QueryExtents(i, 4));
+    }
+  }
+}
+BENCHMARK(BM_GridBuildAndQueryAll)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RankIndexOps(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<double> universe(static_cast<size_t>(state.range(0)));
+  for (auto& v : universe) v = rng.Normal();
+  RankIndex index(universe);
+  size_t i = 0;
+  for (auto _ : state) {
+    index.Insert(universe[i % universe.size()]);
+    benchmark::DoNotOptimize(index.CountInRange(-0.5, 0.5));
+    index.Erase(universe[i % universe.size()]);
+    ++i;
+  }
+}
+BENCHMARK(BM_RankIndexOps)->Arg(1024)->Arg(65536)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Micro-benchmark: KSG MI estimation cost per window size and backend, plus
+// the alternative estimators — the ablation behind choosing KSG (Section
+// 3.1) and the auto backend switch.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "mi/histogram_mi.h"
+#include "mi/ksg.h"
+#include "mi/pearson.h"
+
+namespace {
+
+using namespace tycos;
+
+void MakeData(int64_t m, std::vector<double>* xs, std::vector<double>* ys) {
+  Rng rng(42);
+  xs->resize(static_cast<size_t>(m));
+  ys->resize(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    (*xs)[static_cast<size_t>(i)] = rng.Normal();
+    (*ys)[static_cast<size_t>(i)] =
+        0.7 * (*xs)[static_cast<size_t>(i)] + rng.Normal();
+  }
+}
+
+void BM_KsgBrute(benchmark::State& state) {
+  std::vector<double> xs, ys;
+  MakeData(state.range(0), &xs, &ys);
+  KsgOptions o;
+  o.backend = KnnBackend::kBrute;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KsgMi(xs, ys, o));
+  }
+}
+BENCHMARK(BM_KsgBrute)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_KsgKdTree(benchmark::State& state) {
+  std::vector<double> xs, ys;
+  MakeData(state.range(0), &xs, &ys);
+  KsgOptions o;
+  o.backend = KnnBackend::kKdTree;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KsgMi(xs, ys, o));
+  }
+}
+BENCHMARK(BM_KsgKdTree)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_HistogramMi(benchmark::State& state) {
+  std::vector<double> xs, ys;
+  MakeData(state.range(0), &xs, &ys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HistogramMi(xs, ys));
+  }
+}
+BENCHMARK(BM_HistogramMi)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_Pearson(benchmark::State& state) {
+  std::vector<double> xs, ys;
+  MakeData(state.range(0), &xs, &ys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PearsonCorrelation(xs, ys));
+  }
+}
+BENCHMARK(BM_Pearson)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_NormalizedMi(benchmark::State& state) {
+  std::vector<double> xs, ys;
+  MakeData(state.range(0), &xs, &ys);
+  const auto mode = static_cast<MiNormalization>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormalizedMi(xs, ys, {}, mode));
+  }
+}
+BENCHMARK(BM_NormalizedMi)
+    ->Args({512, 0})   // entropy ratio
+    ->Args({512, 1})   // correlation coefficient
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Table 3 reproduction: correlations extracted from the (simulated) energy
+// and smart-city datasets — TYCOS vs AMIC. Each row prints the number of
+// extracted windows and the delay range; AMIC, having no delay axis, misses
+// every correlation whose lag the simulator plants away from zero.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/amic.h"
+#include "bench/bench_util.h"
+#include "datagen/energy_sim.h"
+#include "datagen/smart_city_sim.h"
+#include "search/tycos.h"
+
+namespace {
+
+using namespace tycos;
+using datagen::CityChannel;
+using datagen::EnergyChannel;
+
+struct Row {
+  const char* id;
+  std::string name;
+  SeriesPair pair;
+  double samples_per_minute;
+};
+
+void PrintRow(const Row& row, const TycosParams& params) {
+  Tycos search(row.pair, params, TycosVariant::kLMN);
+  const WindowSet ty = search.Run();
+
+  AmicOptions amic_opt;
+  amic_opt.sigma = params.sigma;
+  amic_opt.s_min = params.s_min;
+  const AmicResult amic = AmicSearch(row.pair, amic_opt);
+
+  char tycos_cell[64];
+  if (ty.empty()) {
+    std::snprintf(tycos_cell, sizeof(tycos_cell), "x");
+  } else {
+    std::snprintf(tycos_cell, sizeof(tycos_cell), "%zu, [%.0f-%.0fm]",
+                  ty.size(),
+                  static_cast<double>(ty.MinDelay()) / row.samples_per_minute,
+                  static_cast<double>(ty.MaxDelay()) / row.samples_per_minute);
+  }
+  char amic_cell[64];
+  if (amic.windows.empty()) {
+    std::snprintf(amic_cell, sizeof(amic_cell), "x");
+  } else {
+    std::snprintf(amic_cell, sizeof(amic_cell), "%zu, 0m",
+                  amic.windows.size());
+  }
+  std::printf("%-5s %-46s %-18s %-10s\n", row.id, row.name.c_str(),
+              tycos_cell, amic_cell);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: extracted correlations (TYCOS vs AMIC) ===\n");
+  std::printf("%-5s %-46s %-18s %-10s\n", "id", "correlation",
+              "TYCOS (n, delays)", "AMIC");
+  tycos::bench::PrintRule(84);
+
+  // Energy rows (C1–C6): 5 days of minute-resolution plug data (the NIST
+  // data is minute-level; C4/C5's 1–5 minute lags need that resolution).
+  datagen::EnergySimOptions eopt;
+  eopt.days = 5;
+  eopt.samples_per_hour = 60;
+  const datagen::EnergySimulator energy(eopt);
+  const double e_spm = eopt.samples_per_hour / 60.0;
+
+  auto energy_row = [&](const char* id, EnergyChannel a, EnergyChannel b) {
+    return Row{id,
+               std::string(datagen::EnergyChannelName(a)) + " vs " +
+                   datagen::EnergyChannelName(b),
+               energy.Pair(a, b), e_spm};
+  };
+
+  TycosParams energy_params;
+  energy_params.sigma = 0.4;
+  energy_params.s_min = 30;             // half an hour
+  energy_params.s_max = 60 * 12;        // half a day
+  energy_params.td_max = 60 * 4;        // lags up to four hours
+  energy_params.initial_delay_step = 5; // plug events are minutes wide
+  energy_params.tie_jitter = 1e-9;
+
+  PrintRow(energy_row("C1", EnergyChannel::kKitchen,
+                      EnergyChannel::kDishWasher),
+           energy_params);
+  PrintRow(energy_row("C2", EnergyChannel::kKitchen,
+                      EnergyChannel::kMicrowave),
+           energy_params);
+  PrintRow(energy_row("C3", EnergyChannel::kClothesWasher,
+                      EnergyChannel::kDryer),
+           energy_params);
+  PrintRow(energy_row("C4", EnergyChannel::kBathroomLight,
+                      EnergyChannel::kKitchenLight),
+           energy_params);
+  PrintRow(energy_row("C5", EnergyChannel::kKitchenLight,
+                      EnergyChannel::kMicrowave),
+           energy_params);
+  PrintRow(energy_row("C6", EnergyChannel::kChildrenRoomLight,
+                      EnergyChannel::kLivingRoomLight),
+           energy_params);
+
+  // Smart-city rows (C7–C10): 14 days of 15-minute weather/incident data.
+  datagen::SmartCitySimOptions copt;
+  copt.days = 14;
+  copt.samples_per_hour = 4;
+  const datagen::SmartCitySimulator city(copt);
+  const double c_spm = copt.samples_per_hour / 60.0;
+
+  auto city_row = [&](const char* id, CityChannel a, CityChannel b) {
+    return Row{id,
+               std::string(datagen::CityChannelName(a)) + " vs " +
+                   datagen::CityChannelName(b),
+               city.Pair(a, b), c_spm};
+  };
+
+  TycosParams city_params;
+  city_params.sigma = 0.35;
+  city_params.s_min = 8;          // two hours
+  city_params.s_max = 4 * 24 * 2; // two days
+  city_params.td_max = 4 * 3;     // lags up to three hours
+  city_params.tie_jitter = 1e-6;
+
+  PrintRow(city_row("C7", CityChannel::kPrecipitation,
+                    CityChannel::kCollisions),
+           city_params);
+  PrintRow(city_row("C8", CityChannel::kWindSpeed,
+                    CityChannel::kCollisions),
+           city_params);
+  PrintRow(city_row("C9", CityChannel::kPrecipitation,
+                    CityChannel::kPedestrianInjured),
+           city_params);
+  PrintRow(city_row("C10", CityChannel::kWindSpeed,
+                    CityChannel::kMotoristKilled),
+           city_params);
+  return 0;
+}

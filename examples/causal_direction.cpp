@@ -1,0 +1,78 @@
+// From correlation to causation: the paper's conclusion positions TYCOS as
+// "a basis for ... infer[ring] causal effects from the extracted
+// correlations". This example closes that loop: TYCOS locates *when* two
+// signals are coupled and at what lag; transfer entropy over the extracted
+// window then orients the edge (who drives whom).
+//
+//   $ ./build/examples/causal_direction
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "mi/cmi.h"
+#include "search/tycos.h"
+
+int main() {
+  using namespace tycos;
+
+  // Two sensors; the coupling x → y (lag 2) is only active in the middle
+  // third of the recording.
+  Rng rng(11);
+  const int64_t n = 1800;
+  const int64_t couple_from = 600, couple_to = 1200;
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  x[0] = rng.Normal();
+  y[0] = y[1] = rng.Normal();
+  for (int64_t t = 1; t < n; ++t) {
+    x[static_cast<size_t>(t)] =
+        0.4 * x[static_cast<size_t>(t - 1)] + rng.Normal();
+    double drive = 0.0;
+    if (t >= couple_from && t < couple_to && t >= 2) {
+      drive = 1.2 * x[static_cast<size_t>(t - 2)];
+    }
+    y[static_cast<size_t>(t)] = 0.3 * y[static_cast<size_t>(t - 1)] + drive +
+                                0.6 * rng.Normal();
+  }
+  const SeriesPair pair{TimeSeries(x, "sensor_x"), TimeSeries(y, "sensor_y")};
+
+  // Step 1: where and at what lag are they correlated?
+  TycosParams params;
+  params.sigma = 0.5;
+  params.s_min = 64;
+  params.s_max = 800;
+  params.td_max = 8;
+  Tycos search(pair, params, TycosVariant::kLMN);
+  const WindowSet windows = search.Run();
+  std::printf("TYCOS found %zu coupled window(s):\n", windows.size());
+  Window best;
+  for (const Window& w : windows.Sorted()) {
+    std::printf("  %s\n", w.ToString().c_str());
+    if (w.mi > best.mi) best = w;
+  }
+  if (windows.empty()) return 0;
+
+  // Step 2: orient the edge inside the strongest window. Keep both series
+  // on the raw common time span (NOT the delay-aligned extraction, which
+  // would shift the coupling to lag 0 where transfer entropy cannot see
+  // it): transfer entropy conditions on the target's own past, so the lag
+  // must stay in the data.
+  const int64_t lo = std::min(best.start, best.y_start());
+  const int64_t hi = std::max(best.end, best.y_end());
+  std::vector<double> wx(x.begin() + lo, x.begin() + hi + 1);
+  std::vector<double> wy(y.begin() + lo, y.begin() + hi + 1);
+  TransferEntropyOptions te;
+  te.lag = std::max<int64_t>(1, std::llabs(best.delay));
+  const CausalDirection dir = EstimateDirection(wx, wy, te);
+  std::printf("\nwithin window %s:\n", best.ToString().c_str());
+  std::printf("  TE(x -> y) = %.3f nats\n", dir.te_forward);
+  std::printf("  TE(y -> x) = %.3f nats\n", dir.te_backward);
+  std::printf("  verdict: %s\n",
+              dir.margin() > 0.05  ? "x drives y"
+              : dir.margin() < -0.05 ? "y drives x"
+                                     : "direction unresolved");
+  std::printf("\nground truth: x drives y at lag 2 during [%lld, %lld)\n",
+              static_cast<long long>(couple_from),
+              static_cast<long long>(couple_to));
+  return 0;
+}

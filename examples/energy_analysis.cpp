@@ -1,0 +1,75 @@
+// Energy-domain example: mine lagged correlations between household
+// plug-load channels (the paper's Table 3 scenario, on the simulated
+// NIST-style dataset).
+//
+//   $ ./build/examples/energy_analysis [days]
+//
+// For each leader→follower pair the search reports how many correlated
+// windows exist and over what delay range, e.g. "ClothesWasher -> Dryer:
+// N windows, lag 10–30 min". Windows are also exported to CSV.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/energy_sim.h"
+#include "io/csv.h"
+#include "search/tycos.h"
+
+namespace {
+
+using tycos::datagen::EnergyChannel;
+
+struct ChannelPair {
+  EnergyChannel leader;
+  EnergyChannel follower;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tycos;
+
+  datagen::EnergySimOptions sim_options;
+  sim_options.days = argc > 1 ? std::atoi(argv[1]) : 7;
+  sim_options.samples_per_hour = 12;  // 5-minute samples
+  const datagen::EnergySimulator sim(sim_options);
+  std::printf("simulated %d days of plug-load data (%lld samples/channel)\n\n",
+              sim_options.days, static_cast<long long>(sim.length()));
+
+  const ChannelPair pairs[] = {
+      {EnergyChannel::kKitchen, EnergyChannel::kDishWasher},
+      {EnergyChannel::kClothesWasher, EnergyChannel::kDryer},
+      {EnergyChannel::kBathroomLight, EnergyChannel::kKitchenLight},
+      {EnergyChannel::kChildrenRoomLight, EnergyChannel::kLivingRoomLight},
+  };
+
+  TycosParams params;
+  params.sigma = 0.4;
+  params.s_min = 12;                            // >= 1 hour of activity
+  params.s_max = 12 * 24;                       // at most a day
+  params.td_max = 12 * 4;                       // lags up to 4 hours
+  params.tie_jitter = 1e-9;                     // idle plugs repeat values
+  const double minutes_per_sample = 60.0 / sim_options.samples_per_hour;
+
+  for (const ChannelPair& cp : pairs) {
+    const SeriesPair data = sim.Pair(cp.leader, cp.follower);
+    Tycos search(data, params, TycosVariant::kLMN);
+    const WindowSet result = search.Run();
+
+    std::printf("%-18s -> %-16s : %3zu windows",
+                datagen::EnergyChannelName(cp.leader),
+                datagen::EnergyChannelName(cp.follower), result.size());
+    if (!result.empty()) {
+      std::printf(", lag %.0f-%.0f min",
+                  static_cast<double>(result.MinDelay()) * minutes_per_sample,
+                  static_cast<double>(result.MaxDelay()) * minutes_per_sample);
+      const std::string path =
+          std::string("energy_") + datagen::EnergyChannelName(cp.leader) +
+          "_" + datagen::EnergyChannelName(cp.follower) + ".csv";
+      const Status st = WriteWindowsCsv(path, result.Sorted());
+      if (st.ok()) std::printf("  -> %s", path.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Cross-channel discovery: scan *all* channel pairs of a dataset and rank
+// them by the strongest correlation found — the paper's workflow of running
+// TYCOS over every pair of 72 smart plugs, here on the simulated household.
+//
+//   $ ./build/examples/pairwise_discovery [days]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "datagen/energy_sim.h"
+#include "search/pairwise.h"
+
+int main(int argc, char** argv) {
+  using namespace tycos;
+
+  datagen::EnergySimOptions options;
+  options.days = argc > 1 ? std::atoi(argv[1]) : 7;
+  options.samples_per_hour = 12;
+  const datagen::EnergySimulator sim(options);
+
+  std::vector<TimeSeries> channels;
+  std::vector<const char*> names;
+  for (int c = 0; c < datagen::kNumEnergyChannels; ++c) {
+    const auto channel = static_cast<datagen::EnergyChannel>(c);
+    channels.push_back(sim.Channel(channel));
+    names.push_back(datagen::EnergyChannelName(channel));
+  }
+  std::printf("scanning all %d x %d channel pairs over %d days...\n\n",
+              datagen::kNumEnergyChannels, datagen::kNumEnergyChannels,
+              options.days);
+
+  TycosParams params;
+  params.sigma = 0.4;
+  params.s_min = 12;           // one hour
+  params.s_max = 12 * 24;      // one day
+  params.td_max = 12 * 4;      // lags up to four hours
+  params.initial_delay_step = 5;
+  params.tie_jitter = 1e-9;
+
+  const PairwiseResult result =
+      PairwiseSearch(channels, params, TycosVariant::kLMN);
+
+  std::printf("%-20s %-20s %8s %8s %14s\n", "channel A", "channel B",
+              "windows", "best", "lag range (m)");
+  const double minutes_per_sample = 60.0 / options.samples_per_hour;
+  int shown = 0;
+  for (const PairwiseEntry* e : result.Correlated()) {
+    std::printf("%-20s %-20s %8lld %8.3f %6.0f - %-6.0f\n",
+                names[static_cast<size_t>(e->a)],
+                names[static_cast<size_t>(e->b)],
+                static_cast<long long>(e->window_count()), e->best_score,
+                static_cast<double>(e->windows.MinDelay()) *
+                    minutes_per_sample,
+                static_cast<double>(e->windows.MaxDelay()) *
+                    minutes_per_sample);
+    if (++shown >= 12) break;  // top correlations only
+  }
+  if (shown == 0) std::printf("(no correlated pairs found)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Smart-city example: how does weather drive traffic incidents, and with
+// what delay? Reproduces the paper's C7–C10 analyses on the simulated
+// NYC-style dataset, including the asymmetry the paper highlights: rain
+// impacts pedestrians more than motorists, wind the other way around.
+//
+//   $ ./build/examples/smart_city [days]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datagen/smart_city_sim.h"
+#include "search/tycos.h"
+
+namespace {
+
+using tycos::datagen::CityChannel;
+
+struct Analysis {
+  const char* label;
+  CityChannel weather;
+  CityChannel incident;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tycos;
+
+  datagen::SmartCitySimOptions sim_options;
+  sim_options.days = argc > 1 ? std::atoi(argv[1]) : 14;
+  sim_options.samples_per_hour = 4;  // 15-minute resolution
+  const datagen::SmartCitySimulator sim(sim_options);
+  std::printf("simulated %d days of city data (%lld samples/channel)\n\n",
+              sim_options.days, static_cast<long long>(sim.length()));
+
+  const Analysis analyses[] = {
+      {"C7  Precipitation vs Collisions", CityChannel::kPrecipitation,
+       CityChannel::kCollisions},
+      {"C8  WindSpeed vs Collisions", CityChannel::kWindSpeed,
+       CityChannel::kCollisions},
+      {"C9  Precipitation vs PedestrianInjured", CityChannel::kPrecipitation,
+       CityChannel::kPedestrianInjured},
+      {"C10 WindSpeed vs MotoristKilled", CityChannel::kWindSpeed,
+       CityChannel::kMotoristKilled},
+  };
+
+  TycosParams params;
+  params.sigma = 0.35;
+  params.s_min = 8;           // at least 2 hours
+  params.s_max = 4 * 24 * 2;  // at most 2 days
+  params.td_max = 4 * 3;      // lags up to 3 hours
+  params.tie_jitter = 1e-6;   // incident counts are small integers
+  const double hours_per_sample = 1.0 / sim_options.samples_per_hour;
+
+  std::printf("%-42s %8s %16s %8s\n", "analysis", "windows", "lag range (h)",
+              "best");
+  for (const Analysis& a : analyses) {
+    const SeriesPair data = sim.Pair(a.weather, a.incident);
+    Tycos search(data, params, TycosVariant::kLMN);
+    const WindowSet result = search.Run();
+    double best = 0.0;
+    for (const Window& w : result.windows()) {
+      if (w.mi > best) best = w.mi;
+    }
+    std::printf("%-42s %8zu %7.2f-%7.2f %8.3f\n", a.label, result.size(),
+                static_cast<double>(result.MinDelay()) * hours_per_sample,
+                static_cast<double>(result.MaxDelay()) * hours_per_sample,
+                best);
+  }
+
+  std::printf(
+      "\nInterpretation: positive lags mean incidents follow the weather\n"
+      "event; compare C9 vs C10 to see which road users each weather type\n"
+      "affects most.\n");
+  return 0;
+}

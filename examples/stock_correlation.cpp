@@ -1,0 +1,81 @@
+// Finance example from the paper's introduction: "the impact of one rising
+// stock on other stocks is visible only a few hours later." Simulates two
+// stocks whose *returns* are coupled with a lead-lag, then uses TYCOS to
+// recover when the coupling was active and at what lag — something a price
+// chart won't show directly.
+//
+//   $ ./build/examples/stock_correlation
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "mi/pearson.h"
+#include "search/tycos.h"
+
+namespace {
+
+// Geometric-random-walk prices; stock B's returns follow stock A's with
+// `lag` ticks, but only inside [couple_from, couple_to).
+void SimulateStocks(int64_t n, int64_t lag, int64_t couple_from,
+                    int64_t couple_to, std::vector<double>* returns_a,
+                    std::vector<double>* returns_b) {
+  tycos::Rng rng(2024);
+  returns_a->resize(static_cast<size_t>(n));
+  returns_b->resize(static_cast<size_t>(n));
+  for (int64_t t = 0; t < n; ++t) {
+    (*returns_a)[static_cast<size_t>(t)] = rng.Normal(0.0, 0.01);
+    (*returns_b)[static_cast<size_t>(t)] = rng.Normal(0.0, 0.01);
+  }
+  for (int64_t t = couple_from; t < couple_to; ++t) {
+    if (t + lag >= n) break;
+    // Non-linear coupling: B overreacts to large moves of A.
+    const double ra = (*returns_a)[static_cast<size_t>(t)];
+    (*returns_b)[static_cast<size_t>(t + lag)] =
+        0.8 * ra * (1.0 + 40.0 * std::fabs(ra)) + rng.Normal(0.0, 0.004);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace tycos;
+
+  const int64_t kTicks = 1500;   // e.g. minute bars over ~4 trading days
+  const int64_t kLag = 25;       // B reacts ~25 minutes after A
+  const int64_t kFrom = 500, kTo = 900;
+
+  std::vector<double> ra, rb;
+  SimulateStocks(kTicks, kLag, kFrom, kTo, &ra, &rb);
+  const SeriesPair pair{TimeSeries(ra, "stock_A_returns"),
+                        TimeSeries(rb, "stock_B_returns")};
+
+  // Whole-series Pearson at lag 0 sees essentially nothing:
+  std::printf("whole-series PCC(A, B) = %.3f  (looks uncorrelated)\n\n",
+              PearsonCorrelation(pair.x().values(), pair.y().values()));
+
+  TycosParams params;
+  params.sigma = 0.5;
+  params.s_min = 30;
+  params.s_max = 600;
+  params.td_max = 60;
+  params.initial_delay_step = 5;
+
+  Tycos search(pair, params, TycosVariant::kLMN);
+  const WindowSet result = search.Run();
+
+  std::printf("TYCOS found %zu coupled episode(s):\n", result.size());
+  for (const Window& w : result.Sorted()) {
+    std::printf("  A ticks [%lld, %lld] drive B %lld ticks later  "
+                "(score %.3f)\n",
+                static_cast<long long>(w.start),
+                static_cast<long long>(w.end),
+                static_cast<long long>(w.delay), w.mi);
+  }
+  std::printf("\nground truth: coupling over A ticks [%lld, %lld) at lag "
+              "%lld\n",
+              static_cast<long long>(kFrom), static_cast<long long>(kTo),
+              static_cast<long long>(kLag));
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "baselines/amic.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tycos {
+
+namespace {
+
+struct Frame {
+  int64_t start;
+  int64_t end;
+};
+
+}  // namespace
+
+AmicResult AmicSearch(const SeriesPair& pair, const AmicOptions& options) {
+  TYCOS_CHECK_GE(options.s_min, options.k + 2);
+  AmicResult result;
+  const int64_t n = pair.size();
+  if (n < options.s_min) return result;
+
+  KsgOptions ksg;
+  ksg.k = options.k;
+
+  // The overlapping middle segments can re-generate frames; dedupe so the
+  // recursion stays linear in the number of distinct segments.
+  std::unordered_set<uint64_t> visited;
+  auto key = [](const Frame& f) {
+    return (static_cast<uint64_t>(f.start) << 32) |
+           static_cast<uint64_t>(f.end);
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back({0, n - 1});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const int64_t size = f.end - f.start + 1;
+    if (size < options.s_min) continue;
+    if (!visited.insert(key(f)).second) continue;
+
+    Window w(f.start, f.end, 0);
+    auto score = [&](const Window& win) {
+      ++result.segments_evaluated;
+      return NormalizedMi(pair, win, ksg, options.normalization,
+                          options.small_sample_penalty);
+    };
+    w.mi = score(w);
+
+    const bool splittable = size >= 2 * options.s_min;
+    const int64_t mid = f.start + size / 2;
+    const int64_t quarter = size / 4;
+    const Frame children[3] = {{f.start, mid - 1},
+                               {mid, f.end},
+                               {f.start + quarter, f.end - quarter}};
+
+    if (w.mi >= options.sigma) {
+      // Adaptive refinement: a correlated segment is only accepted when no
+      // child concentrates the correlation better — otherwise the window
+      // would smear a strong core across diluting noise.
+      bool child_improves = false;
+      if (splittable) {
+        for (const Frame& c : children) {
+          const double child_mi = score(Window(c.start, c.end, 0));
+          if (child_mi > w.mi + 0.02) {
+            child_improves = true;
+            break;
+          }
+        }
+      }
+      if (!child_improves) {
+        result.windows.Insert(w);
+        continue;
+      }
+    } else if (!splittable) {
+      continue;
+    }
+    // Left half, right half, and the straddling middle segment.
+    for (const Frame& c : children) stack.push_back(c);
+  }
+
+  // Refinement can surface several overlapping locally-maximal segments of
+  // the same correlated region; report maximal merged windows.
+  WindowSet merged;
+  for (const Window& w : MergeOverlapping(result.windows.windows())) {
+    merged.Insert(w);
+  }
+  result.windows = std::move(merged);
+  return result;
+}
+
+}  // namespace tycos

@@ -1,0 +1,37 @@
+// AMIC [17]: the authors' earlier Adaptive Mutual-Information-based
+// Correlation framework — a *top-down* multi-scale search with *no time
+// delay* (τ is always 0). It starts from the full interval, reports maximal
+// segments whose normalized MI clears σ, and recursively splits rejected
+// segments (halves plus the straddling middle segment, so correlations
+// crossing a midpoint are not lost) down to s_min. Its Table 1/3 failures
+// on delayed correlations come from the fixed τ = 0.
+
+#ifndef TYCOS_BASELINES_AMIC_H_
+#define TYCOS_BASELINES_AMIC_H_
+
+#include <cstdint>
+
+#include "core/time_series.h"
+#include "core/window_set.h"
+#include "mi/ksg.h"
+
+namespace tycos {
+
+struct AmicOptions {
+  double sigma = 0.5;   // threshold on normalized MI
+  int64_t s_min = 24;   // recursion floor
+  int k = 4;            // KSG k
+  MiNormalization normalization = MiNormalization::kCorrelationCoefficient;
+  double small_sample_penalty = kDefaultSmallSamplePenalty;
+};
+
+struct AmicResult {
+  WindowSet windows;            // accepted segments (delay always 0)
+  int64_t segments_evaluated = 0;
+};
+
+AmicResult AmicSearch(const SeriesPair& pair, const AmicOptions& options);
+
+}  // namespace tycos
+
+#endif  // TYCOS_BASELINES_AMIC_H_

@@ -1,0 +1,51 @@
+#include "baselines/mass.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "fft/sliding_dot.h"
+
+namespace tycos {
+
+MassMatch MassBestMatch(const std::vector<double>& xs,
+                        const std::vector<double>& ys, int64_t query_start,
+                        int64_t m) {
+  TYCOS_CHECK_GE(query_start, 0);
+  TYCOS_CHECK_LE(query_start + m, static_cast<int64_t>(xs.size()));
+  TYCOS_CHECK_GE(m, 2);
+  std::vector<double> query(xs.begin() + query_start,
+                            xs.begin() + query_start + m);
+  const std::vector<double> profile = MassDistanceProfile(query, ys);
+  MassMatch best;
+  best.query_start = query_start;
+  best.match_start = 0;
+  best.distance = profile[0];
+  for (size_t i = 1; i < profile.size(); ++i) {
+    if (profile[i] < best.distance) {
+      best.distance = profile[i];
+      best.match_start = static_cast<int64_t>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<MassMatch> MassScan(const SeriesPair& pair,
+                                const MassScanOptions& options) {
+  const int64_t n = pair.size();
+  const int64_t m = options.window;
+  TYCOS_CHECK_GE(m, 2);
+  const double accept = options.threshold * std::sqrt(2.0 * static_cast<double>(m));
+  std::vector<MassMatch> out;
+  for (int64_t q = 0; q + m <= n; q += options.stride) {
+    MassMatch match = MassBestMatch(pair.x().values(), pair.y().values(), q, m);
+    if (match.distance <= accept &&
+        std::llabs(match.match_start - match.query_start) <=
+            options.align_tolerance) {
+      out.push_back(match);
+    }
+  }
+  return out;
+}
+
+}  // namespace tycos

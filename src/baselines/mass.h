@@ -1,0 +1,43 @@
+// MASS (Mueen's Algorithm for Similarity Search) [25]: FFT-based
+// z-normalized subsequence matching. As the paper notes, MASS has no
+// mechanism to search for correlated windows on its own — it answers "where
+// in Y does this query from X match best?". The detection harness feeds it
+// aligned queries (the query's own position is the checked location), which
+// is why it misses time-shifted relations in Table 1.
+
+#ifndef TYCOS_BASELINES_MASS_H_
+#define TYCOS_BASELINES_MASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace tycos {
+
+struct MassMatch {
+  int64_t query_start = 0;  // where the query was taken from X
+  int64_t match_start = 0;  // best match position in Y
+  double distance = 0.0;    // z-normalized Euclidean distance
+};
+
+// Distance profile of query (from xs[query_start .. +m)) against every
+// subsequence of ys; returns the best match.
+MassMatch MassBestMatch(const std::vector<double>& xs,
+                        const std::vector<double>& ys, int64_t query_start,
+                        int64_t m);
+
+struct MassScanOptions {
+  int64_t window = 64;       // query length m
+  int64_t stride = 16;       // query step along X
+  double threshold = 0.30;   // accept when dist <= threshold * sqrt(2m)
+  int64_t align_tolerance = 16;  // match must sit within this of the query
+};
+
+// Scans queries along X and reports aligned matches in Y (see header note).
+std::vector<MassMatch> MassScan(const SeriesPair& pair,
+                                const MassScanOptions& options);
+
+}  // namespace tycos
+
+#endif  // TYCOS_BASELINES_MASS_H_

@@ -1,0 +1,101 @@
+#include "baselines/matrix_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "fft/sliding_dot.h"
+
+namespace tycos {
+
+namespace {
+
+// z-normalized Euclidean distance from the dot product and window stats.
+double ZDist(double dot, double mu_a, double sd_a, double mu_b, double sd_b,
+             double m) {
+  if (sd_a == 0.0 || sd_b == 0.0) return std::sqrt(2.0 * m);
+  const double corr = (dot - m * mu_a * mu_b) / (m * sd_a * sd_b);
+  return std::sqrt(std::max(0.0, 2.0 * m * (1.0 - std::clamp(corr, -1.0, 1.0))));
+}
+
+// STOMP core: rows are subsequences of `a`, columns subsequences of `b`.
+// `exclusion` >= 0 masks |i - j| <= exclusion (self-join); -1 disables.
+MatrixProfileResult Stomp(const std::vector<double>& a,
+                          const std::vector<double>& b, int64_t m,
+                          int64_t exclusion) {
+  const int64_t na = static_cast<int64_t>(a.size());
+  const int64_t nb = static_cast<int64_t>(b.size());
+  TYCOS_CHECK_GE(m, 2);
+  TYCOS_CHECK_LE(m, na);
+  TYCOS_CHECK_LE(m, nb);
+  const int64_t ra = na - m + 1;  // rows
+  const int64_t rb = nb - m + 1;  // columns
+
+  std::vector<double> mu_a, sd_a, mu_b, sd_b;
+  RollingMeanStd(a, static_cast<size_t>(m), &mu_a, &sd_a);
+  RollingMeanStd(b, static_cast<size_t>(m), &mu_b, &sd_b);
+
+  MatrixProfileResult result;
+  result.m = m;
+  result.profile.assign(static_cast<size_t>(ra),
+                        std::numeric_limits<double>::infinity());
+  result.index.assign(static_cast<size_t>(ra), -1);
+
+  // First row dot products via FFT, then O(1) incremental updates per row.
+  std::vector<double> first_query(a.begin(), a.begin() + m);
+  std::vector<double> qt = SlidingDotProduct(first_query, b);
+  // Dot products of b's first subsequence against all of a (for the O(1)
+  // recurrence's first column).
+  std::vector<double> first_col =
+      SlidingDotProduct(std::vector<double>(b.begin(), b.begin() + m), a);
+
+  const double dm = static_cast<double>(m);
+  std::vector<double> prev(static_cast<size_t>(rb));
+  for (int64_t i = 0; i < ra; ++i) {
+    if (i > 0) {
+      // qt[j] = prev[j-1] - a[i-1]b[j-1] + a[i+m-1]b[j+m-1]
+      for (int64_t j = rb - 1; j >= 1; --j) {
+        qt[static_cast<size_t>(j)] =
+            prev[static_cast<size_t>(j - 1)] -
+            a[static_cast<size_t>(i - 1)] * b[static_cast<size_t>(j - 1)] +
+            a[static_cast<size_t>(i + m - 1)] *
+                b[static_cast<size_t>(j + m - 1)];
+      }
+      qt[0] = first_col[static_cast<size_t>(i)];
+    }
+    prev = qt;
+    double best = std::numeric_limits<double>::infinity();
+    int64_t best_j = -1;
+    for (int64_t j = 0; j < rb; ++j) {
+      if (exclusion >= 0 && std::llabs(i - j) <= exclusion) continue;
+      const double d = ZDist(qt[static_cast<size_t>(j)],
+                             mu_a[static_cast<size_t>(i)],
+                             sd_a[static_cast<size_t>(i)],
+                             mu_b[static_cast<size_t>(j)],
+                             sd_b[static_cast<size_t>(j)], dm);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    result.profile[static_cast<size_t>(i)] = best;
+    result.index[static_cast<size_t>(i)] = best_j;
+  }
+  return result;
+}
+
+}  // namespace
+
+MatrixProfileResult MatrixProfileAbJoin(const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        int64_t m) {
+  return Stomp(a, b, m, /*exclusion=*/-1);
+}
+
+MatrixProfileResult MatrixProfileSelfJoin(const std::vector<double>& a,
+                                          int64_t m) {
+  return Stomp(a, a, m, /*exclusion=*/m / 2);
+}
+
+}  // namespace tycos

@@ -1,0 +1,35 @@
+// MatrixProfile [31] via the STOMP algorithm: O(n²) all-pairs z-normalized
+// similarity join. The AB-join profile gives, for every subsequence of A,
+// its nearest neighbour anywhere in B — which is why MatrixProfile does
+// find time-shifted *linear* relations in Table 1 (any offset is allowed)
+// but still misses non-linear ones (z-normalized Euclidean distance is a
+// linear-shape measure).
+
+#ifndef TYCOS_BASELINES_MATRIX_PROFILE_H_
+#define TYCOS_BASELINES_MATRIX_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tycos {
+
+struct MatrixProfileResult {
+  // profile[i] = distance from a[i..i+m) to its nearest neighbour;
+  // index[i] = that neighbour's start position.
+  std::vector<double> profile;
+  std::vector<int64_t> index;
+  int64_t m = 0;
+};
+
+// AB-join: nearest neighbour in `b` for every length-m subsequence of `a`.
+MatrixProfileResult MatrixProfileAbJoin(const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        int64_t m);
+
+// Self-join with the standard m/2 exclusion zone (motif discovery).
+MatrixProfileResult MatrixProfileSelfJoin(const std::vector<double>& a,
+                                          int64_t m);
+
+}  // namespace tycos
+
+#endif  // TYCOS_BASELINES_MATRIX_PROFILE_H_

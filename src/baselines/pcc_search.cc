@@ -1,0 +1,30 @@
+#include "baselines/pcc_search.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/window_set.h"
+#include "mi/pearson.h"
+
+namespace tycos {
+
+std::vector<Window> PccSearch(const SeriesPair& pair,
+                              const PccSearchOptions& options) {
+  TYCOS_CHECK_GE(options.window, 2);
+  TYCOS_CHECK_GE(options.stride, 1);
+  const int64_t n = pair.size();
+  std::vector<Window> flagged;
+  std::vector<double> xs, ys;
+  for (int64_t s = 0; s + options.window <= n; s += options.stride) {
+    Window w(s, s + options.window - 1, 0);
+    ExtractSamples(pair, w, &xs, &ys);
+    const double r = PearsonCorrelation(xs, ys);
+    if (std::fabs(r) >= options.threshold) {
+      w.mi = std::fabs(r);
+      flagged.push_back(w);
+    }
+  }
+  return MergeOverlapping(std::move(flagged));
+}
+
+}  // namespace tycos

@@ -1,0 +1,29 @@
+// Sliding-window Pearson correlation detector: the traditional-metric
+// baseline of Section 8.1. Fixed window length, zero delay (PCC has no
+// delay mechanism), reporting windows where |r| clears a threshold.
+
+#ifndef TYCOS_BASELINES_PCC_SEARCH_H_
+#define TYCOS_BASELINES_PCC_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_series.h"
+#include "core/window.h"
+
+namespace tycos {
+
+struct PccSearchOptions {
+  int64_t window = 64;      // fixed window length
+  int64_t stride = 16;      // slide step
+  double threshold = 0.7;   // |r| >= threshold flags a window
+};
+
+// Flagged windows (delay always 0, mi field carries |r|), merged into
+// maximal runs.
+std::vector<Window> PccSearch(const SeriesPair& pair,
+                              const PccSearchOptions& options);
+
+}  // namespace tycos
+
+#endif  // TYCOS_BASELINES_PCC_SEARCH_H_

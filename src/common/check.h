@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros.
+//
+// TYCOS_CHECK is always on (including release builds) and aborts with a
+// source-located message when the condition fails. It is intended for
+// programming errors (broken invariants, precondition violations), not for
+// recoverable errors — those return Status/Result instead.
+
+#ifndef TYCOS_COMMON_CHECK_H_
+#define TYCOS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TYCOS_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "TYCOS_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define TYCOS_CHECK_OP(a, op, b)                                            \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      std::fprintf(stderr, "TYCOS_CHECK failed at %s:%d: %s %s %s\n",       \
+                   __FILE__, __LINE__, #a, #op, #b);                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define TYCOS_CHECK_EQ(a, b) TYCOS_CHECK_OP(a, ==, b)
+#define TYCOS_CHECK_NE(a, b) TYCOS_CHECK_OP(a, !=, b)
+#define TYCOS_CHECK_LT(a, b) TYCOS_CHECK_OP(a, <, b)
+#define TYCOS_CHECK_LE(a, b) TYCOS_CHECK_OP(a, <=, b)
+#define TYCOS_CHECK_GT(a, b) TYCOS_CHECK_OP(a, >, b)
+#define TYCOS_CHECK_GE(a, b) TYCOS_CHECK_OP(a, >=, b)
+
+#endif  // TYCOS_COMMON_CHECK_H_

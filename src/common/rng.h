@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// All randomness in the library (LAHC history sampling, synthetic data,
+// jitter) flows through Rng so experiments are reproducible from a seed.
+
+#ifndef TYCOS_COMMON_RNG_H_
+#define TYCOS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace tycos {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Poisson with the given rate (rate <= 0 yields 0).
+  int64_t Poisson(double rate) {
+    if (rate <= 0.0) return 0;
+    return std::poisson_distribution<int64_t>(rate)(engine_);
+  }
+
+  // Bernoulli with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tycos
+
+#endif  // TYCOS_COMMON_RNG_H_

@@ -1,0 +1,26 @@
+// Small string helpers shared by the CSV reader and report printers.
+
+#ifndef TYCOS_COMMON_STRINGS_H_
+#define TYCOS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tycos {
+
+// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Parses a double; returns false on malformed or trailing-garbage input.
+bool ParseDouble(std::string_view s, double* out);
+
+// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, long long* out);
+
+}  // namespace tycos
+
+#endif  // TYCOS_COMMON_STRINGS_H_

@@ -1,0 +1,30 @@
+#include "core/time_series.h"
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace tycos {
+
+std::vector<double> TimeSeries::Slice(int64_t begin, int64_t end) const {
+  TYCOS_CHECK_GE(begin, 0);
+  TYCOS_CHECK_LE(begin, end);
+  TYCOS_CHECK_LT(end, size());
+  return std::vector<double>(values_.begin() + begin,
+                             values_.begin() + end + 1);
+}
+
+TimeSeries TimeSeries::ZNormalized() const {
+  const double mu = Mean(values_);
+  const double sd = std::sqrt(Variance(values_));
+  std::vector<double> out(values_.size());
+  if (sd == 0.0) {
+    return TimeSeries(std::move(out), name_);
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    out[i] = (values_[i] - mu) / sd;
+  }
+  return TimeSeries(std::move(out), name_);
+}
+
+}  // namespace tycos

@@ -1,0 +1,72 @@
+// TimeSeries and SeriesPair: the fundamental data types of the library
+// (paper Definitions 4.1–4.4).
+
+#ifndef TYCOS_CORE_TIME_SERIES_H_
+#define TYCOS_CORE_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tycos {
+
+// A named, time-ordered sequence of samples. Index i corresponds to time
+// step t_i; the sampling interval is uniform and implicit.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> values, std::string name = "")
+      : values_(std::move(values)), name_(std::move(name)) {}
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](int64_t i) const {
+    TYCOS_CHECK_GE(i, 0);
+    TYCOS_CHECK_LT(i, size());
+    return values_[static_cast<size_t>(i)];
+  }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void Append(double v) { values_.push_back(v); }
+
+  // Copies samples [begin, end] (inclusive bounds) into a new vector.
+  std::vector<double> Slice(int64_t begin, int64_t end) const;
+
+  // Returns a z-normalized copy ((x - mean) / stddev). A constant series
+  // normalizes to all zeros.
+  TimeSeries ZNormalized() const;
+
+ private:
+  std::vector<double> values_;
+  std::string name_;
+};
+
+// Two series observed over the same period T (Definition 4.3). Both series
+// must have equal length.
+class SeriesPair {
+ public:
+  SeriesPair() = default;
+  SeriesPair(TimeSeries x, TimeSeries y) : x_(std::move(x)), y_(std::move(y)) {
+    TYCOS_CHECK_EQ(x_.size(), y_.size());
+  }
+
+  int64_t size() const { return x_.size(); }
+  const TimeSeries& x() const { return x_; }
+  const TimeSeries& y() const { return y_; }
+
+ private:
+  TimeSeries x_;
+  TimeSeries y_;
+};
+
+}  // namespace tycos
+
+#endif  // TYCOS_CORE_TIME_SERIES_H_

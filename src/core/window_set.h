@@ -1,0 +1,44 @@
+// WindowSet: the result set S of the problem statement. Maintains the
+// non-nesting constraint  ∀ w_i, w_j ∈ S : w_i ⊄ w_j ∧ w_j ⊄ w_i  by keeping,
+// for any nested pair, the window with the higher MI.
+
+#ifndef TYCOS_CORE_WINDOW_SET_H_
+#define TYCOS_CORE_WINDOW_SET_H_
+
+#include <vector>
+
+#include "core/window.h"
+
+namespace tycos {
+
+class WindowSet {
+ public:
+  // Attempts to insert w. If w is nested (Contains) with incumbents, it is
+  // inserted only when its MI beats every nested incumbent, which are then
+  // evicted. Returns true when w ends up in the set.
+  bool Insert(const Window& w);
+
+  const std::vector<Window>& windows() const { return windows_; }
+  size_t size() const { return windows_.size(); }
+  bool empty() const { return windows_.empty(); }
+
+  // Windows ordered by start index (stable for reporting).
+  std::vector<Window> Sorted() const;
+
+  // Smallest and largest delay over the set; both 0 when empty.
+  int64_t MinDelay() const;
+  int64_t MaxDelay() const;
+
+ private:
+  std::vector<Window> windows_;
+};
+
+// Merges overlapping windows that share a delay into maximal covering
+// windows (used to aggregate the brute-force baseline's output before
+// accuracy comparison, Section 8.4B). The merged window carries the max MI
+// of its constituents.
+std::vector<Window> MergeOverlapping(std::vector<Window> windows);
+
+}  // namespace tycos
+
+#endif  // TYCOS_CORE_WINDOW_SET_H_

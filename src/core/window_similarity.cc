@@ -1,0 +1,84 @@
+#include "core/window_similarity.h"
+
+#include <algorithm>
+
+namespace tycos {
+
+double IndexJaccard(const Window& a, const Window& b) {
+  const int64_t inter_lo = std::max(a.start, b.start);
+  const int64_t inter_hi = std::min(a.end, b.end);
+  if (inter_lo > inter_hi) return 0.0;
+  const int64_t inter = inter_hi - inter_lo + 1;
+  const int64_t uni =
+      std::max(a.end, b.end) - std::min(a.start, b.start) + 1;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double OverlapCoefficient(const Window& a, const Window& b) {
+  const int64_t inter_lo = std::max(a.start, b.start);
+  const int64_t inter_hi = std::min(a.end, b.end);
+  if (inter_lo > inter_hi) return 0.0;
+  const int64_t inter = inter_hi - inter_lo + 1;
+  const int64_t smaller = std::min(a.size(), b.size());
+  return static_cast<double>(inter) / static_cast<double>(smaller);
+}
+
+double CoverageRecallPercent(const std::vector<Window>& reference,
+                             const std::vector<Window>& candidates,
+                             double threshold) {
+  if (reference.empty()) return candidates.empty() ? 100.0 : 0.0;
+  int hit = 0;
+  for (const Window& r : reference) {
+    for (const Window& c : candidates) {
+      if (OverlapCoefficient(r, c) >= threshold) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return 100.0 * static_cast<double>(hit) /
+         static_cast<double>(reference.size());
+}
+
+double MeanBestJaccard(const std::vector<Window>& reference,
+                       const std::vector<Window>& candidates) {
+  if (reference.empty()) return candidates.empty() ? 1.0 : 0.0;
+  double total = 0.0;
+  for (const Window& r : reference) {
+    double best = 0.0;
+    for (const Window& c : candidates) {
+      best = std::max(best, IndexJaccard(r, c));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(reference.size());
+}
+
+double MatchAccuracyPercent(const std::vector<Window>& reference,
+                            const std::vector<Window>& candidates,
+                            double threshold) {
+  if (reference.empty()) return candidates.empty() ? 100.0 : 0.0;
+  int matched = 0;
+  for (const Window& r : reference) {
+    for (const Window& c : candidates) {
+      if (IndexJaccard(r, c) >= threshold) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return 100.0 * static_cast<double>(matched) /
+         static_cast<double>(reference.size());
+}
+
+double SymmetricAccuracyPercent(const std::vector<Window>& reference,
+                                const std::vector<Window>& candidates,
+                                double threshold) {
+  const double recall = MatchAccuracyPercent(reference, candidates, threshold);
+  const double precision =
+      MatchAccuracyPercent(candidates, reference, threshold);
+  if (recall + precision == 0.0) return 0.0;
+  return 2.0 * recall * precision / (recall + precision);
+}
+
+}  // namespace tycos

@@ -1,0 +1,52 @@
+// Window-set similarity metrics used by the accuracy evaluation (Table 4):
+// "two windows are considered to be similar if they cover a similar range of
+// indices."
+
+#ifndef TYCOS_CORE_WINDOW_SIMILARITY_H_
+#define TYCOS_CORE_WINDOW_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/window.h"
+
+namespace tycos {
+
+// Jaccard index of the X-interval index ranges of a and b: |∩| / |∪|.
+// Delays are ignored (a window that found the same region at a slightly
+// different lag still covers the same data).
+double IndexJaccard(const Window& a, const Window& b);
+
+// Overlap coefficient of the X-interval index ranges: |∩| / min(|a|, |b|).
+// 1 whenever one window is contained in the other — the right notion when
+// a heuristic reports fragments of a merged exact window ("windows are
+// similar if they cover a similar range of indices", Section 8.4B).
+double OverlapCoefficient(const Window& a, const Window& b);
+
+// Percentage (0–100) of reference windows that some candidate hits with
+// OverlapCoefficient >= threshold. With reference = the merged exact result
+// this is the Table 4 "similar windows extracted" number.
+double CoverageRecallPercent(const std::vector<Window>& reference,
+                             const std::vector<Window>& candidates,
+                             double threshold = 0.5);
+
+// For each reference window the best candidate Jaccard is found; returns the
+// mean of those maxima in [0, 1]. Empty reference yields 1 when the candidate
+// set is also empty, otherwise 0 — by symmetry of "found everything".
+double MeanBestJaccard(const std::vector<Window>& reference,
+                       const std::vector<Window>& candidates);
+
+// Percentage (0–100) of reference windows matched by some candidate with
+// Jaccard >= `threshold`. This is the Table 4 accuracy number.
+double MatchAccuracyPercent(const std::vector<Window>& reference,
+                            const std::vector<Window>& candidates,
+                            double threshold = 0.5);
+
+// Symmetric F1-style accuracy: harmonic mean of MatchAccuracyPercent in both
+// directions. Penalizes both missed and spurious windows.
+double SymmetricAccuracyPercent(const std::vector<Window>& reference,
+                                const std::vector<Window>& candidates,
+                                double threshold = 0.5);
+
+}  // namespace tycos
+
+#endif  // TYCOS_CORE_WINDOW_SIMILARITY_H_

@@ -1,0 +1,167 @@
+#include "datagen/energy_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tycos {
+namespace datagen {
+
+const char* EnergyChannelName(EnergyChannel c) {
+  switch (c) {
+    case EnergyChannel::kKitchen:
+      return "Kitchen";
+    case EnergyChannel::kDishWasher:
+      return "DishWasher";
+    case EnergyChannel::kMicrowave:
+      return "Microwave";
+    case EnergyChannel::kClothesWasher:
+      return "ClothesWasher";
+    case EnergyChannel::kDryer:
+      return "Dryer";
+    case EnergyChannel::kBathroomLight:
+      return "BathroomLight";
+    case EnergyChannel::kKitchenLight:
+      return "KitchenLight";
+    case EnergyChannel::kChildrenRoomLight:
+      return "ChildrenRoomLight";
+    case EnergyChannel::kLivingRoomLight:
+      return "LivingRoomLight";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// A smooth random event profile: positive random walk around `base` with
+// soft clipping, so the follower replay carries real information.
+std::vector<double> EventProfile(int64_t duration, double base, Rng& rng) {
+  std::vector<double> p(static_cast<size_t>(duration));
+  double level = base;
+  for (int64_t i = 0; i < duration; ++i) {
+    level += rng.Normal(0.0, base * 0.15);
+    level = std::clamp(level, base * 0.3, base * 2.0);
+    p[static_cast<size_t>(i)] = level;
+  }
+  return p;
+}
+
+// Writes leader[start .. start+dur) += profile and
+// follower[start+lag .. ) += gain * profile + noise.
+void AddLaggedEvent(std::vector<double>* leader, std::vector<double>* follower,
+                    int64_t start, int64_t duration, int64_t lag, double base,
+                    double gain, Rng& rng) {
+  const int64_t n = static_cast<int64_t>(leader->size());
+  if (start < 0 || duration < 1) return;
+  const std::vector<double> profile = EventProfile(duration, base, rng);
+  for (int64_t i = 0; i < duration; ++i) {
+    const int64_t li = start + i;
+    const int64_t fi = start + lag + i;
+    if (li >= 0 && li < n) {
+      (*leader)[static_cast<size_t>(li)] += profile[static_cast<size_t>(i)];
+    }
+    if (fi >= 0 && fi < n) {
+      (*follower)[static_cast<size_t>(fi)] +=
+          gain * profile[static_cast<size_t>(i)] +
+          rng.Normal(0.0, base * 0.05);
+    }
+  }
+}
+
+}  // namespace
+
+EnergySimulator::EnergySimulator(const EnergySimOptions& options)
+    : options_(options) {
+  TYCOS_CHECK_GE(options_.days, 1);
+  TYCOS_CHECK_GE(options_.samples_per_hour, 1);
+  const int64_t per_hour = options_.samples_per_hour;
+  const int64_t per_day = 24 * per_hour;
+  length_ = per_day * options_.days;
+
+  Rng rng(options_.seed);
+  std::vector<std::vector<double>> ch(
+      kNumEnergyChannels, std::vector<double>(static_cast<size_t>(length_)));
+
+  // Standby noise floor on every channel.
+  for (auto& c : ch) {
+    for (double& v : c) v = std::fabs(rng.Normal(0.02, 0.01));
+  }
+
+  auto minutes = [per_hour](double mins) {
+    return static_cast<int64_t>(
+        std::llround(mins * static_cast<double>(per_hour) / 60.0));
+  };
+  auto at = [&](int day, double hour) {
+    return static_cast<int64_t>(day) * per_day +
+           static_cast<int64_t>(std::llround(hour * static_cast<double>(per_hour)));
+  };
+  auto& kitchen = ch[static_cast<int>(EnergyChannel::kKitchen)];
+  auto& dish = ch[static_cast<int>(EnergyChannel::kDishWasher)];
+  auto& micro = ch[static_cast<int>(EnergyChannel::kMicrowave)];
+  auto& washer = ch[static_cast<int>(EnergyChannel::kClothesWasher)];
+  auto& dryer = ch[static_cast<int>(EnergyChannel::kDryer)];
+  auto& bath_l = ch[static_cast<int>(EnergyChannel::kBathroomLight)];
+  auto& kitchen_l = ch[static_cast<int>(EnergyChannel::kKitchenLight)];
+  auto& child_l = ch[static_cast<int>(EnergyChannel::kChildrenRoomLight)];
+  auto& living_l = ch[static_cast<int>(EnergyChannel::kLivingRoomLight)];
+
+  for (int day = 0; day < options_.days; ++day) {
+    // C1/C2: evening cooking (16–19 h); the dishwasher replays 0–4 h later,
+    // the microwave assists within the hour.
+    {
+      const int64_t start = at(day, 16.0 + rng.Uniform(0.0, 2.0));
+      const int64_t dur = minutes(rng.Uniform(60.0, 120.0));
+      const int64_t dish_lag = minutes(rng.Uniform(0.0, 240.0));
+      AddLaggedEvent(&kitchen, &dish, start, dur, dish_lag, 1.2, 0.8, rng);
+      const int64_t micro_lag = minutes(rng.Uniform(0.0, 60.0));
+      AddLaggedEvent(&kitchen, &micro, start, std::min<int64_t>(dur, minutes(30)),
+                     micro_lag, 0.9, 0.7, rng);
+    }
+    // C3: laundry roughly every other day; dryer follows 10–30 min after.
+    if (rng.Bernoulli(0.5)) {
+      const int64_t start = at(day, 10.0 + rng.Uniform(0.0, 6.0));
+      const int64_t dur = minutes(rng.Uniform(45.0, 75.0));
+      const int64_t lag = dur + minutes(rng.Uniform(10.0, 30.0));
+      AddLaggedEvent(&washer, &dryer, start, dur, lag, 0.9, 0.9, rng);
+    }
+    // C4/C5: morning routine — bathroom light, then the kitchen light 1–5
+    // minutes later, then the microwave within 2 minutes.
+    {
+      const int64_t start = at(day, 6.0 + rng.Uniform(0.0, 0.75));
+      const int64_t dur = minutes(rng.Uniform(15.0, 30.0));
+      const int64_t kl_lag = minutes(rng.Uniform(1.0, 5.0));
+      AddLaggedEvent(&bath_l, &kitchen_l, start, dur, kl_lag, 0.12, 0.9, rng);
+      const int64_t mw_lag = minutes(rng.Uniform(0.0, 2.0));
+      AddLaggedEvent(&kitchen_l, &micro, start + kl_lag,
+                     std::min<int64_t>(dur, minutes(15)), mw_lag, 0.1, 6.0,
+                     rng);
+    }
+    // C6: children's room light in the evening; living room 15–40 min later.
+    {
+      const int64_t start = at(day, 19.5 + rng.Uniform(0.0, 1.0));
+      const int64_t dur = minutes(rng.Uniform(30.0, 60.0));
+      const int64_t lag = minutes(rng.Uniform(15.0, 40.0));
+      AddLaggedEvent(&child_l, &living_l, start, dur, lag, 0.1, 0.9, rng);
+    }
+  }
+
+  channels_.reserve(kNumEnergyChannels);
+  for (int c = 0; c < kNumEnergyChannels; ++c) {
+    channels_.emplace_back(std::move(ch[static_cast<size_t>(c)]),
+                           EnergyChannelName(static_cast<EnergyChannel>(c)));
+  }
+}
+
+const TimeSeries& EnergySimulator::Channel(EnergyChannel c) const {
+  return channels_[static_cast<size_t>(c)];
+}
+
+SeriesPair EnergySimulator::Pair(EnergyChannel leader,
+                                 EnergyChannel follower) const {
+  return SeriesPair(Channel(leader), Channel(follower));
+}
+
+}  // namespace datagen
+}  // namespace tycos

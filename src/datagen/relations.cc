@@ -1,0 +1,250 @@
+#include "datagen/relations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace tycos {
+namespace datagen {
+
+const char* RelationTypeName(RelationType type) {
+  switch (type) {
+    case RelationType::kIndependent:
+      return "Independent";
+    case RelationType::kLinear:
+      return "Linear";
+    case RelationType::kExponential:
+      return "Exp";
+    case RelationType::kQuadratic:
+      return "Quad";
+    case RelationType::kCircle:
+      return "Circle";
+    case RelationType::kSine:
+      return "Sine";
+    case RelationType::kCross:
+      return "Cross";
+    case RelationType::kQuartic:
+      return "Quartic";
+    case RelationType::kSquareRoot:
+      return "SquareRoot";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+void ZNormalize(std::vector<double>* v) {
+  const double mu = Mean(*v);
+  const double sd = std::sqrt(Variance(*v));
+  if (sd == 0.0) {
+    for (double& x : *v) x -= mu;
+    return;
+  }
+  for (double& x : *v) x = (x - mu) / sd;
+}
+
+}  // namespace
+
+namespace {
+
+// Domain of x for each relation (Table 1).
+void RelationDomain(RelationType type, double* lo, double* hi) {
+  switch (type) {
+    case RelationType::kIndependent:
+      *lo = -12.0;
+      *hi = 18.0;  // ~N(3,5) span; values unused for the relation itself
+      break;
+    case RelationType::kLinear:
+      *lo = 0.0;
+      *hi = 10.0;
+      break;
+    case RelationType::kExponential:
+      *lo = -10.0;
+      *hi = 10.0;
+      break;
+    case RelationType::kQuadratic:
+      *lo = -4.0;
+      *hi = 4.0;
+      break;
+    case RelationType::kCircle:
+      *lo = -3.0;
+      *hi = 3.0;
+      break;
+    case RelationType::kSine:
+      *lo = 0.0;
+      *hi = 10.0;
+      break;
+    case RelationType::kCross:
+      *lo = -5.0;
+      *hi = 5.0;
+      break;
+    case RelationType::kQuartic:
+      *lo = -1.0;
+      *hi = 3.0;
+      break;
+    case RelationType::kSquareRoot:
+      *lo = 0.0;
+      *hi = 25.0;
+      break;
+  }
+}
+
+}  // namespace
+
+void SampleRelation(RelationType type, int64_t m, Rng& rng,
+                    std::vector<double>* xs, std::vector<double>* ys,
+                    XSampling sampling) {
+  TYCOS_CHECK_GE(m, 1);
+  xs->resize(static_cast<size_t>(m));
+  ys->resize(static_cast<size_t>(m));
+
+  double lo = 0.0, hi = 1.0;
+  RelationDomain(type, &lo, &hi);
+  // Random-walk mode: step = range/12 decorrelates x over ~25 samples.
+  const double step = (hi - lo) / 12.0;
+  double walk = rng.Uniform(lo, hi);
+
+  for (int64_t i = 0; i < m; ++i) {
+    const size_t s = static_cast<size_t>(i);
+    double x;
+    if (sampling == XSampling::kRandomWalk) {
+      walk += rng.Normal(0.0, step);
+      // Reflect at the domain boundaries.
+      while (walk < lo || walk > hi) {
+        if (walk < lo) walk = 2.0 * lo - walk;
+        if (walk > hi) walk = 2.0 * hi - walk;
+      }
+      x = walk;
+    } else {
+      x = rng.Uniform(lo, hi);
+    }
+    const double u = rng.Uniform(0.0, 1.0);
+    double y = 0.0;
+    switch (type) {
+      case RelationType::kIndependent:
+        (*xs)[s] = rng.Normal(3.0, 5.0);
+        (*ys)[s] = rng.Normal(0.0, 1.0);
+        continue;
+      case RelationType::kLinear:
+        y = 2.0 * x + u;
+        break;
+      case RelationType::kExponential:
+        // 0.01^(x+u) spans 40 decades; generate in scaled log-space and let
+        // the final z-normalization rescale (a monotone-linear change that
+        // keeps the relation intact while staying in double range).
+        y = std::pow(0.01, (x + u) / 4.0);
+        break;
+      case RelationType::kQuadratic:
+        y = x * x + u;
+        break;
+      case RelationType::kCircle: {
+        const double root = std::sqrt(std::max(0.0, 9.0 - x * x));
+        y = (rng.Bernoulli(0.5) ? root : -root) + u;
+        break;
+      }
+      case RelationType::kSine:
+        y = 2.0 * std::sin(x) + u;
+        break;
+      case RelationType::kCross:
+        y = (rng.Bernoulli(0.5) ? x : -x) + u;
+        break;
+      case RelationType::kQuartic:
+        y = x * x * x * x - 4.0 * x * x * x + 4.0 * x * x + x + u;
+        break;
+      case RelationType::kSquareRoot:
+        y = std::sqrt(x);
+        break;
+    }
+    (*xs)[s] = x;
+    (*ys)[s] = y;
+  }
+  ZNormalize(xs);
+  ZNormalize(ys);
+}
+
+SyntheticDataset ComposeDataset(const std::vector<SegmentSpec>& segments,
+                                int64_t gap, uint64_t seed,
+                                XSampling sampling) {
+  TYCOS_CHECK_GE(gap, 0);
+  Rng rng(seed);
+
+  int64_t max_delay = 0;
+  int64_t content = gap;
+  for (const SegmentSpec& s : segments) {
+    TYCOS_CHECK_GE(s.length, 1);
+    TYCOS_CHECK_GE(s.delay, 0);
+    max_delay = std::max(max_delay, s.delay);
+    content += s.length + gap;
+  }
+  const int64_t n = content + max_delay;
+
+  // Independent N(0,1) background everywhere, then overwrite with segments.
+  std::vector<double> x(static_cast<size_t>(n));
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.Normal(0.0, 1.0);
+    y[static_cast<size_t>(i)] = rng.Normal(0.0, 1.0);
+  }
+
+  SyntheticDataset out{SeriesPair(), {}};
+  int64_t pos = gap;
+  for (const SegmentSpec& s : segments) {
+    std::vector<double> xs, ys;
+    SampleRelation(s.type, s.length, rng, &xs, &ys, sampling);
+    for (int64_t i = 0; i < s.length; ++i) {
+      x[static_cast<size_t>(pos + i)] = xs[static_cast<size_t>(i)];
+      y[static_cast<size_t>(pos + s.delay + i)] = ys[static_cast<size_t>(i)];
+    }
+    out.planted.push_back(PlantedRelation{s.type, pos, s.length, s.delay});
+    pos += s.length + gap;
+  }
+
+  out.pair = SeriesPair(TimeSeries(std::move(x), "X"),
+                        TimeSeries(std::move(y), "Y"));
+  return out;
+}
+
+SyntheticDataset SyntheticWorkload(int variant, int64_t n, uint64_t seed) {
+  TYCOS_CHECK_GE(variant, 1);
+  TYCOS_CHECK_LE(variant, 3);
+  TYCOS_CHECK_GE(n, 400);
+
+  // Relation mixes per variant; delays grow with the variant index.
+  std::vector<RelationType> mix;
+  int64_t delay_step = 0;
+  switch (variant) {
+    case 1:
+      mix = {RelationType::kLinear, RelationType::kQuadratic,
+             RelationType::kSine};
+      delay_step = 0;
+      break;
+    case 2:
+      mix = {RelationType::kExponential, RelationType::kCircle,
+             RelationType::kQuartic, RelationType::kLinear};
+      delay_step = 8;
+      break;
+    default:
+      mix = {RelationType::kSquareRoot, RelationType::kCross,
+             RelationType::kSine, RelationType::kQuadratic,
+             RelationType::kLinear};
+      delay_step = 12;
+      break;
+  }
+
+  // Budget: half the length on relations, half on separators.
+  const int64_t k = static_cast<int64_t>(mix.size());
+  const int64_t seg_len = std::max<int64_t>(32, n / (2 * k));
+  const int64_t gap = std::max<int64_t>(
+      16, (n - seg_len * k) / (k + 1));
+  std::vector<SegmentSpec> specs;
+  for (int64_t i = 0; i < k; ++i) {
+    specs.push_back(SegmentSpec{mix[static_cast<size_t>(i)], seg_len,
+                                delay_step * i});
+  }
+  return ComposeDataset(specs, gap, seed);
+}
+
+}  // namespace datagen
+}  // namespace tycos

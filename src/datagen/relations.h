@@ -1,0 +1,105 @@
+// Synthetic relation generators reproducing the Table 1 workload: nine
+// relation types (linear and non-linear, monotonic and non-monotonic,
+// functional and non-functional), planted into a series pair with
+// configurable time delays and separated by independent noise.
+
+#ifndef TYCOS_DATAGEN_RELATIONS_H_
+#define TYCOS_DATAGEN_RELATIONS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/time_series.h"
+#include "core/window.h"
+
+namespace tycos {
+namespace datagen {
+
+// The Table 1 relations, y = f(x) + u with u ~ U(0, 1) noise.
+enum class RelationType {
+  kIndependent,  // y ~ N(0,1), x ~ N(3,5)
+  kLinear,       // y = 2x + u,                 x in [0, 10]
+  kExponential,  // y = 0.01^(x+u),             x in [-10, 10]
+  kQuadratic,    // y = x² + u,                 x in [-4, 4]
+  kCircle,       // y = ±sqrt(3² − x²) + u,     x in [-3, 3]
+  kSine,         // y = 2 sin(x) + u,           x in [0, 10]
+  kCross,        // y = ±x + u,                 x in [-5, 5]
+  kQuartic,      // y = x⁴ − 4x³ + 4x² + x + u, x in [-1, 3]
+  kSquareRoot,   // y = sqrt(x),                x in [0, 25]
+};
+
+inline constexpr RelationType kAllRelations[] = {
+    RelationType::kIndependent, RelationType::kLinear,
+    RelationType::kExponential, RelationType::kQuadratic,
+    RelationType::kCircle,      RelationType::kSine,
+    RelationType::kCross,       RelationType::kQuartic,
+    RelationType::kSquareRoot,
+};
+
+const char* RelationTypeName(RelationType type);
+
+// How the x samples traverse the relation's domain.
+enum class XSampling {
+  // Independent uniform draws: the (x, y) pairs carry no serial structure,
+  // so a planted delay is a sharp spike in τ (the default, and what keeps
+  // ground truth unambiguous).
+  kIid,
+  // Reflected random walk over the domain: mimics autocorrelated sensor
+  // data. Serial smoothness widens delay basins but also lets the KSG
+  // estimator see spurious "MI" between unrelated smooth stretches (the
+  // trajectory-manifold artifact); see DESIGN.md.
+  kRandomWalk,
+};
+
+// Draws m paired samples of the relation over the Table 1 domain,
+// y = f(x) + u. Both outputs are z-normalized (a linear rescale, so every
+// statistical relationship is preserved) so segments splice seamlessly into
+// an N(0,1) background.
+void SampleRelation(RelationType type, int64_t m, Rng& rng,
+                    std::vector<double>* xs, std::vector<double>* ys,
+                    XSampling sampling = XSampling::kIid);
+
+// One planted segment of a composite dataset.
+struct SegmentSpec {
+  RelationType type;
+  int64_t length;
+  int64_t delay;  // Y lags X by this many samples (>= 0 here)
+};
+
+// Ground truth of a planted segment after composition.
+struct PlantedRelation {
+  RelationType type;
+  int64_t x_start;  // where the relation's X window begins
+  int64_t length;
+  int64_t delay;
+
+  Window AsWindow() const {
+    return Window(x_start, x_start + length - 1, delay);
+  }
+};
+
+struct SyntheticDataset {
+  SeriesPair pair;
+  std::vector<PlantedRelation> planted;
+};
+
+// Lays out `segments` left to right, separated (and book-ended) by `gap`
+// samples, over an independent N(0, 1) background on both series. The Y
+// values of each segment are written `delay` samples after its X values,
+// emulating the paper's lagged interactions. `sampling` selects how each
+// segment's x traverses its domain (see XSampling).
+SyntheticDataset ComposeDataset(const std::vector<SegmentSpec>& segments,
+                                int64_t gap, uint64_t seed,
+                                XSampling sampling = XSampling::kIid);
+
+// The Fig. 9 composite workloads: "Synthetic 1/2/3" combine several Table 1
+// relations into one pair of total length ~n. `variant` in {1, 2, 3} selects
+// the relation mix; delays grow with the variant.
+SyntheticDataset SyntheticWorkload(int variant, int64_t n, uint64_t seed);
+
+}  // namespace datagen
+}  // namespace tycos
+
+#endif  // TYCOS_DATAGEN_RELATIONS_H_

@@ -1,0 +1,154 @@
+#include "datagen/smart_city_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tycos {
+namespace datagen {
+
+const char* CityChannelName(CityChannel c) {
+  switch (c) {
+    case CityChannel::kPrecipitation:
+      return "Precipitation";
+    case CityChannel::kWindSpeed:
+      return "WindSpeed";
+    case CityChannel::kSnow:
+      return "Snow";
+    case CityChannel::kCollisions:
+      return "Collisions";
+    case CityChannel::kPedestrianInjured:
+      return "PedestrianInjured";
+    case CityChannel::kMotoristKilled:
+      return "MotoristKilled";
+    case CityChannel::kCyclistInjured:
+      return "CyclistInjured";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// Adds a weather event: a ragged triangular intensity burst.
+void AddBurst(std::vector<double>* series, int64_t start, int64_t duration,
+              double peak, Rng& rng) {
+  const int64_t n = static_cast<int64_t>(series->size());
+  for (int64_t i = 0; i < duration; ++i) {
+    const int64_t t = start + i;
+    if (t < 0 || t >= n) continue;
+    const double frac = static_cast<double>(i) / static_cast<double>(duration);
+    const double envelope = frac < 0.3 ? frac / 0.3 : (1.0 - frac) / 0.7;
+    const double v = peak * std::max(0.0, envelope) *
+                     (0.7 + 0.6 * rng.Uniform(0.0, 1.0));
+    (*series)[static_cast<size_t>(t)] += v;
+  }
+}
+
+}  // namespace
+
+SmartCitySimulator::SmartCitySimulator(const SmartCitySimOptions& options)
+    : options_(options) {
+  TYCOS_CHECK_GE(options_.days, 1);
+  TYCOS_CHECK_GE(options_.samples_per_hour, 1);
+  const int64_t per_hour = options_.samples_per_hour;
+  const int64_t per_day = 24 * per_hour;
+  length_ = per_day * options_.days;
+
+  Rng rng(options_.seed);
+  std::vector<double> precip(static_cast<size_t>(length_), 0.0);
+  std::vector<double> wind(static_cast<size_t>(length_), 0.0);
+  std::vector<double> snow(static_cast<size_t>(length_), 0.0);
+
+  // Baseline breeze.
+  for (double& v : wind) v = std::fabs(rng.Normal(2.0, 0.8));
+
+  auto hours = [per_hour](double h) {
+    return static_cast<int64_t>(
+        std::llround(h * static_cast<double>(per_hour)));
+  };
+
+  // Weather events: ~1.2 rain showers, ~0.8 wind storms, ~0.4 snowfalls per
+  // day on average, at random times.
+  const int rain_events = std::max(1, static_cast<int>(options_.days * 1.2));
+  const int wind_events = std::max(1, static_cast<int>(options_.days * 0.8));
+  const int snow_events = std::max(1, static_cast<int>(options_.days * 0.4));
+  for (int e = 0; e < rain_events; ++e) {
+    AddBurst(&precip, rng.UniformInt(0, length_ - 1),
+             hours(rng.Uniform(1.0, 5.0)), rng.Uniform(2.0, 8.0), rng);
+  }
+  for (int e = 0; e < wind_events; ++e) {
+    AddBurst(&wind, rng.UniformInt(0, length_ - 1),
+             hours(rng.Uniform(2.0, 8.0)), rng.Uniform(6.0, 15.0), rng);
+  }
+  for (int e = 0; e < snow_events; ++e) {
+    AddBurst(&snow, rng.UniformInt(0, length_ - 1),
+             hours(rng.Uniform(3.0, 10.0)), rng.Uniform(1.0, 4.0), rng);
+  }
+
+  // Per-event lags (constant within an event scale, drawn once per series
+  // pair relation): precipitation impacts 0.5–2 h later, wind 0.25–1 h.
+  const int64_t rain_lag = hours(rng.Uniform(0.5, 2.0));
+  const int64_t wind_lag = hours(rng.Uniform(0.25, 1.0));
+  const int64_t snow_lag = hours(rng.Uniform(0.5, 2.0));
+
+  auto lagged = [&](const std::vector<double>& src, int64_t t, int64_t lag) {
+    const int64_t i = t - lag;
+    return (i >= 0 && i < length_) ? src[static_cast<size_t>(i)] : 0.0;
+  };
+
+  // Incident counts: Poisson around a nonlinear (saturating) response to
+  // lagged weather, on top of a diurnal baseline.
+  std::vector<double> collisions(static_cast<size_t>(length_));
+  std::vector<double> pedestrian(static_cast<size_t>(length_));
+  std::vector<double> motorist(static_cast<size_t>(length_));
+  std::vector<double> cyclist(static_cast<size_t>(length_));
+  for (int64_t t = 0; t < length_; ++t) {
+    const double hour_of_day =
+        static_cast<double>(t % per_day) / static_cast<double>(per_hour);
+    const double diurnal =
+        1.5 + std::sin((hour_of_day - 6.0) / 24.0 * 2.0 * M_PI);
+    const double rain = lagged(precip, t, rain_lag);
+    const double gust = lagged(wind, t, wind_lag);
+    const double flake = lagged(snow, t, snow_lag);
+
+    // Saturating nonlinear responses.
+    const double rain_effect = 6.0 * rain * rain / (4.0 + rain * rain);
+    const double wind_effect = 5.0 * gust * gust / (60.0 + gust * gust);
+    const double snow_effect = 5.0 * flake * flake / (2.0 + flake * flake);
+
+    collisions[static_cast<size_t>(t)] = static_cast<double>(rng.Poisson(
+        diurnal + 2.0 * rain_effect + 1.6 * wind_effect + snow_effect));
+    pedestrian[static_cast<size_t>(t)] = static_cast<double>(
+        rng.Poisson(0.4 * diurnal + 1.6 * rain_effect + 0.2 * wind_effect));
+    motorist[static_cast<size_t>(t)] = static_cast<double>(
+        rng.Poisson(0.2 * diurnal + 0.2 * rain_effect + 1.4 * wind_effect));
+    cyclist[static_cast<size_t>(t)] = static_cast<double>(
+        rng.Poisson(0.2 * diurnal + 0.5 * rain_effect + 1.0 * wind_effect));
+  }
+
+  channels_.reserve(kNumCityChannels);
+  auto add = [&](std::vector<double>&& v, CityChannel c) {
+    channels_.emplace_back(std::move(v), CityChannelName(c));
+  };
+  add(std::move(precip), CityChannel::kPrecipitation);
+  add(std::move(wind), CityChannel::kWindSpeed);
+  add(std::move(snow), CityChannel::kSnow);
+  add(std::move(collisions), CityChannel::kCollisions);
+  add(std::move(pedestrian), CityChannel::kPedestrianInjured);
+  add(std::move(motorist), CityChannel::kMotoristKilled);
+  add(std::move(cyclist), CityChannel::kCyclistInjured);
+}
+
+const TimeSeries& SmartCitySimulator::Channel(CityChannel c) const {
+  return channels_[static_cast<size_t>(c)];
+}
+
+SeriesPair SmartCitySimulator::Pair(CityChannel leader,
+                                    CityChannel follower) const {
+  return SeriesPair(Channel(leader), Channel(follower));
+}
+
+}  // namespace datagen
+}  // namespace tycos

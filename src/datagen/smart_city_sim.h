@@ -1,0 +1,65 @@
+// Simulated weather / traffic data standing in for the NYC Open Data
+// collections [2] of the paper (DESIGN.md, substitution 2). Weather events
+// (rain showers, wind storms, snowfall) drive incident counts with the
+// Table 3 lags:
+//
+//   C7  Precipitation → Collisions          lag 0.5–2 h
+//   C8  WindSpeed     → Collisions          lag 0.25–1 h
+//   C9  Precipitation → PedestrianInjured   lag 0.5–2 h (stronger response)
+//   C10 WindSpeed     → MotoristKilled      lag 0.25–1 h
+//
+// Incident channels are Poisson counts whose rate rises nonlinearly with
+// the (lagged) weather intensity, so the dependency is non-linear — exactly
+// the kind PCC misses and MI catches.
+
+#ifndef TYCOS_DATAGEN_SMART_CITY_SIM_H_
+#define TYCOS_DATAGEN_SMART_CITY_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace tycos {
+namespace datagen {
+
+enum class CityChannel {
+  kPrecipitation = 0,
+  kWindSpeed,
+  kSnow,
+  kCollisions,
+  kPedestrianInjured,
+  kMotoristKilled,
+  kCyclistInjured,
+};
+inline constexpr int kNumCityChannels = 7;
+
+const char* CityChannelName(CityChannel c);
+
+struct SmartCitySimOptions {
+  int days = 14;
+  int samples_per_hour = 4;  // 15-minute resolution, like the paper's NYC data
+  uint64_t seed = 11;
+};
+
+class SmartCitySimulator {
+ public:
+  explicit SmartCitySimulator(const SmartCitySimOptions& options);
+
+  int64_t length() const { return length_; }
+  int samples_per_hour() const { return options_.samples_per_hour; }
+
+  const TimeSeries& Channel(CityChannel c) const;
+
+  SeriesPair Pair(CityChannel leader, CityChannel follower) const;
+
+ private:
+  SmartCitySimOptions options_;
+  int64_t length_;
+  std::vector<TimeSeries> channels_;
+};
+
+}  // namespace datagen
+}  // namespace tycos
+
+#endif  // TYCOS_DATAGEN_SMART_CITY_SIM_H_

@@ -1,0 +1,116 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace tycos {
+
+size_t NextPowerOfTwo(size_t n) {
+  TYCOS_CHECK_GE(n, 1u);
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<Complex>* data, bool inverse) {
+  std::vector<Complex>& a = *data;
+  const size_t n = a.size();
+  TYCOS_CHECK((n & (n - 1)) == 0);  // power of two
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (Complex& c : a) c /= static_cast<double>(n);
+  }
+}
+
+std::vector<Complex> FftAnySize(const std::vector<Complex>& data,
+                                bool inverse) {
+  const size_t n = data.size();
+  TYCOS_CHECK_GE(n, 1u);
+  if ((n & (n - 1)) == 0) {
+    std::vector<Complex> out = data;
+    Fft(&out, inverse);
+    return out;
+  }
+
+  // Bluestein: X_k = b*_k · IFFT(FFT(a) ⊙ FFT(b)) with chirps
+  // a_j = x_j · w^{j²}, b_j = w^{-j²}, w = exp(-iπ/n) (sign flips for the
+  // inverse transform).
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> chirp(n);
+  for (size_t j = 0; j < n; ++j) {
+    // j² mod 2n avoids precision loss for large j.
+    const size_t j2 = (j * j) % (2 * n);
+    const double angle =
+        sign * std::numbers::pi * static_cast<double>(j2) /
+        static_cast<double>(n);
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (size_t j = 0; j < n; ++j) {
+    a[j] = data[j] * chirp[j];
+    b[j] = std::conj(chirp[j]);
+  }
+  for (size_t j = 1; j < n; ++j) b[m - j] = std::conj(chirp[j]);
+
+  Fft(&a, false);
+  Fft(&b, false);
+  for (size_t j = 0; j < m; ++j) a[j] *= b[j];
+  Fft(&a, true);
+
+  std::vector<Complex> out(n);
+  for (size_t j = 0; j < n; ++j) out[j] = a[j] * chirp[j];
+  if (inverse) {
+    for (Complex& c : out) c /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<double> Convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  TYCOS_CHECK(!a.empty());
+  TYCOS_CHECK(!b.empty());
+  const size_t out_len = a.size() + b.size() - 1;
+  const size_t m = NextPowerOfTwo(out_len);
+  std::vector<Complex> fa(m, Complex(0, 0));
+  std::vector<Complex> fb(m, Complex(0, 0));
+  for (size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0);
+  for (size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0);
+  Fft(&fa, false);
+  Fft(&fb, false);
+  for (size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  Fft(&fa, true);
+  std::vector<double> out(out_len);
+  for (size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace tycos

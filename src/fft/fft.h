@@ -1,0 +1,35 @@
+// Self-contained FFT: iterative radix-2 for power-of-two sizes plus
+// Bluestein's chirp-z transform for arbitrary sizes. Powers the O(n log n)
+// sliding dot products used by the MASS and MatrixProfile baselines.
+
+#ifndef TYCOS_FFT_FFT_H_
+#define TYCOS_FFT_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tycos {
+
+using Complex = std::complex<double>;
+
+// In-place radix-2 FFT. data.size() must be a power of two (1 allowed).
+// `inverse` applies the conjugate transform and divides by n.
+void Fft(std::vector<Complex>* data, bool inverse);
+
+// FFT of arbitrary length via Bluestein when the size is not a power of two.
+// Returns the transform (input untouched).
+std::vector<Complex> FftAnySize(const std::vector<Complex>& data,
+                                bool inverse);
+
+// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+// Linear convolution of two real sequences via FFT,
+// result[k] = Σ_i a[i] * b[k - i], length |a| + |b| - 1.
+std::vector<double> Convolve(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+}  // namespace tycos
+
+#endif  // TYCOS_FFT_FFT_H_

@@ -1,0 +1,75 @@
+#include "fft/sliding_dot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "fft/fft.h"
+
+namespace tycos {
+
+std::vector<double> SlidingDotProduct(const std::vector<double>& query,
+                                      const std::vector<double>& series) {
+  const size_t m = query.size();
+  const size_t n = series.size();
+  TYCOS_CHECK_GE(m, 1u);
+  TYCOS_CHECK_LE(m, n);
+  // Convolving the reversed query against the series aligns
+  // conv[m - 1 + i] = Σ_j q[j] s[i + j].
+  std::vector<double> rq(query.rbegin(), query.rend());
+  std::vector<double> conv = Convolve(rq, series);
+  std::vector<double> dot(n - m + 1);
+  for (size_t i = 0; i + m <= n; ++i) dot[i] = conv[m - 1 + i];
+  return dot;
+}
+
+void RollingMeanStd(const std::vector<double>& series, size_t m,
+                    std::vector<double>* mean, std::vector<double>* std) {
+  const size_t n = series.size();
+  TYCOS_CHECK_GE(m, 1u);
+  TYCOS_CHECK_LE(m, n);
+  mean->assign(n - m + 1, 0.0);
+  std->assign(n - m + 1, 0.0);
+  // Prefix sums of x and x² give O(1) window stats.
+  std::vector<double> s1(n + 1, 0.0), s2(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    s1[i + 1] = s1[i] + series[i];
+    s2[i + 1] = s2[i] + series[i] * series[i];
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t i = 0; i + m <= n; ++i) {
+    const double mu = (s1[i + m] - s1[i]) * inv_m;
+    const double ex2 = (s2[i + m] - s2[i]) * inv_m;
+    (*mean)[i] = mu;
+    const double var = std::max(0.0, ex2 - mu * mu);
+    (*std)[i] = std::sqrt(var);
+  }
+}
+
+std::vector<double> MassDistanceProfile(const std::vector<double>& query,
+                                        const std::vector<double>& series) {
+  const size_t m = query.size();
+  TYCOS_CHECK_GE(m, 2u);
+  const std::vector<double> dot = SlidingDotProduct(query, series);
+  std::vector<double> mean, sd;
+  RollingMeanStd(series, m, &mean, &sd);
+  const double mu_q = Mean(query);
+  const double sd_q = std::sqrt(Variance(query));
+  const double dm = static_cast<double>(m);
+
+  std::vector<double> dist(dot.size());
+  for (size_t i = 0; i < dot.size(); ++i) {
+    if (sd_q == 0.0 || sd[i] == 0.0) {
+      dist[i] = std::sqrt(2.0 * dm);  // degenerate: treat as uncorrelated
+      continue;
+    }
+    const double corr =
+        (dot[i] - dm * mu_q * mean[i]) / (dm * sd_q * sd[i]);
+    const double clamped = std::clamp(corr, -1.0, 1.0);
+    dist[i] = std::sqrt(std::max(0.0, 2.0 * dm * (1.0 - clamped)));
+  }
+  return dist;
+}
+
+}  // namespace tycos

@@ -1,0 +1,32 @@
+// Sliding dot product and rolling statistics: the O(n log n) kernel behind
+// MASS and MatrixProfile (Mueen's trick of computing all query/subsequence
+// dot products with one convolution).
+
+#ifndef TYCOS_FFT_SLIDING_DOT_H_
+#define TYCOS_FFT_SLIDING_DOT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tycos {
+
+// dot[i] = Σ_{j<m} query[j] * series[i + j] for i in [0, n - m].
+// O(n log n) via FFT convolution. Requires 1 <= m <= n.
+std::vector<double> SlidingDotProduct(const std::vector<double>& query,
+                                      const std::vector<double>& series);
+
+// Rolling mean and standard deviation of every length-m subsequence of
+// `series` (population stddev). out vectors have size n - m + 1.
+void RollingMeanStd(const std::vector<double>& series, size_t m,
+                    std::vector<double>* mean, std::vector<double>* std);
+
+// z-normalized Euclidean distance profile of `query` against every length
+// |query| subsequence of `series` (the MASS distance profile):
+//   dist[i] = sqrt(2 m (1 − (dot_i − m μ_q μ_i) / (m σ_q σ_i))).
+// Constant subsequences (σ = 0) get distance sqrt(2m) (uncorrelated).
+std::vector<double> MassDistanceProfile(const std::vector<double>& query,
+                                        const std::vector<double>& series);
+
+}  // namespace tycos
+
+#endif  // TYCOS_FFT_SLIDING_DOT_H_

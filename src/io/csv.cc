@@ -1,0 +1,126 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace tycos {
+
+Result<CsvTable> ParseCsv(const std::string& content, bool has_header) {
+  CsvTable table;
+  std::istringstream in(content);
+  std::string line;
+  int64_t row = 0;
+  bool header_pending = has_header;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (header_pending) {
+      for (auto& f : fields) {
+        table.column_names.emplace_back(StripWhitespace(f));
+      }
+      table.columns.resize(fields.size());
+      header_pending = false;
+      continue;
+    }
+    if (table.columns.empty()) table.columns.resize(fields.size());
+    if (fields.size() != table.columns.size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(table.columns.size()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      double v = 0.0;
+      if (!ParseDouble(fields[c], &v)) {
+        return Status::InvalidArgument("unparsable value '" + fields[c] +
+                                       "' at row " + std::to_string(row));
+      }
+      table.columns[c].push_back(v);
+    }
+    ++row;
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), has_header);
+}
+
+Result<TimeSeries> ColumnAsSeries(const CsvTable& table, int64_t column) {
+  if (column < 0 || column >= table.num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range");
+  }
+  std::string name =
+      static_cast<size_t>(column) < table.column_names.size()
+          ? table.column_names[static_cast<size_t>(column)]
+          : "col" + std::to_string(column);
+  return TimeSeries(table.columns[static_cast<size_t>(column)],
+                    std::move(name));
+}
+
+Result<TimeSeries> ColumnAsSeries(const CsvTable& table,
+                                  const std::string& name) {
+  for (size_t c = 0; c < table.column_names.size(); ++c) {
+    if (table.column_names[c] == name) {
+      return ColumnAsSeries(table, static_cast<int64_t>(c));
+    }
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<TimeSeries>& series) {
+  if (series.empty()) {
+    return Status::InvalidArgument("no series to write");
+  }
+  for (const TimeSeries& s : series) {
+    if (s.size() != series[0].size()) {
+      return Status::InvalidArgument("series lengths differ");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (size_t c = 0; c < series.size(); ++c) {
+    out << (c ? "," : "") << series[c].name();
+  }
+  out << "\n";
+  const int64_t n = series[0].size();
+  char buf[64];
+  for (int64_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < series.size(); ++c) {
+      std::snprintf(buf, sizeof(buf), "%.10g", series[c][i]);
+      out << (c ? "," : "") << buf;
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Status WriteWindowsCsv(const std::string& path,
+                       const std::vector<Window>& windows) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "start,end,delay,mi\n";
+  char buf[128];
+  for (const Window& w : windows) {
+    std::snprintf(buf, sizeof(buf), "%lld,%lld,%lld,%.10g\n",
+                  static_cast<long long>(w.start),
+                  static_cast<long long>(w.end),
+                  static_cast<long long>(w.delay), w.mi);
+    out << buf;
+  }
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace tycos

@@ -1,0 +1,55 @@
+// Minimal CSV import/export for time series and result window sets.
+//
+// Format: optional header row of column names, then one row per time step
+// with comma-separated numeric values. Windows are exported as
+// start,end,delay,mi rows.
+
+#ifndef TYCOS_IO_CSV_H_
+#define TYCOS_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/time_series.h"
+#include "core/window.h"
+
+namespace tycos {
+
+// A parsed CSV table of numeric columns.
+struct CsvTable {
+  std::vector<std::string> column_names;     // empty when no header
+  std::vector<std::vector<double>> columns;  // column-major
+
+  int64_t num_rows() const {
+    return columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  }
+  int64_t num_columns() const { return static_cast<int64_t>(columns.size()); }
+};
+
+// Reads a CSV file. When `has_header` is true, the first row supplies column
+// names. All rows must have the same number of numeric fields.
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header = true);
+
+// Parses CSV from an in-memory string (same rules as ReadCsv).
+Result<CsvTable> ParseCsv(const std::string& content, bool has_header = true);
+
+// Extracts one column as a TimeSeries, named after its header (or
+// "col<index>" when headerless).
+Result<TimeSeries> ColumnAsSeries(const CsvTable& table, int64_t column);
+
+// Looks a column up by header name.
+Result<TimeSeries> ColumnAsSeries(const CsvTable& table,
+                                  const std::string& name);
+
+// Writes series as CSV columns (all series must share a length).
+Status WriteCsv(const std::string& path,
+                const std::vector<TimeSeries>& series);
+
+// Writes windows as "start,end,delay,mi" rows with a header.
+Status WriteWindowsCsv(const std::string& path,
+                       const std::vector<Window>& windows);
+
+}  // namespace tycos
+
+#endif  // TYCOS_IO_CSV_H_

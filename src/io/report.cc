@@ -1,0 +1,108 @@
+#include "io/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tycos {
+
+namespace {
+
+// "2.5 h", "14 min", "45 s" — the coarsest unit that stays >= 1.
+std::string HumaneDuration(double seconds) {
+  char buf[48];
+  const double abs = std::fabs(seconds);
+  if (abs >= 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f d", seconds / 86400.0);
+  } else if (abs >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600.0);
+  } else if (abs >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderReport(const SeriesPair& pair, const TycosParams& params,
+                         const WindowSet& windows, const TycosStats& stats,
+                         const ReportOptions& options) {
+  std::ostringstream out;
+  const bool timed = options.seconds_per_sample > 0.0;
+
+  out << "# " << options.title << "\n\n";
+  out << "Pair: **" << (pair.x().name().empty() ? "X" : pair.x().name())
+      << "** vs **" << (pair.y().name().empty() ? "Y" : pair.y().name())
+      << "** (" << pair.size() << " samples)\n\n";
+
+  out << "## Parameters\n\n"
+      << "| parameter | value |\n|---|---|\n"
+      << "| sigma | " << params.sigma << " |\n"
+      << "| s_min / s_max | " << params.s_min << " / " << params.s_max
+      << " |\n"
+      << "| td_max | " << params.td_max << " |\n"
+      << "| epsilon ratio | " << params.epsilon_ratio << " |\n"
+      << "| k | " << params.k << " |\n";
+  if (params.theiler_window > 0) {
+    out << "| theiler window | " << params.theiler_window << " |\n";
+  }
+  out << "\n";
+
+  out << "## Windows (" << windows.size() << ")\n\n";
+  if (windows.empty()) {
+    out << "No correlated windows cleared sigma.\n\n";
+  } else {
+    out << "| # | X range | delay | size | score |";
+    if (timed) out << " when | lag |";
+    out << "\n|---|---|---|---|---|";
+    if (timed) out << "---|---|";
+    out << "\n";
+    int row = 1;
+    for (const Window& w : windows.Sorted()) {
+      out << "| " << row++ << " | [" << w.start << ", " << w.end << "] | "
+          << w.delay << " | " << w.size() << " | ";
+      char score[16];
+      std::snprintf(score, sizeof(score), "%.3f", w.mi);
+      out << score << " |";
+      if (timed) {
+        out << " "
+            << HumaneDuration(static_cast<double>(w.start) *
+                              options.seconds_per_sample)
+            << " – "
+            << HumaneDuration(static_cast<double>(w.end + 1) *
+                              options.seconds_per_sample)
+            << " | "
+            << HumaneDuration(static_cast<double>(w.delay) *
+                              options.seconds_per_sample)
+            << " |";
+      }
+      out << "\n";
+    }
+    out << "\n";
+  }
+
+  out << "## Search statistics\n\n"
+      << "| metric | value |\n|---|---|\n"
+      << "| climbs | " << stats.climbs << " |\n"
+      << "| MI evaluations | " << stats.mi_evaluations << " |\n"
+      << "| cache hits | " << stats.cache_hits << " |\n"
+      << "| accepted / rejected moves | " << stats.accepted_moves << " / "
+      << stats.rejected_moves << " |\n"
+      << "| noise-blocked directions | " << stats.noise_blocked << " |\n";
+  return out.str();
+}
+
+Status WriteReport(const std::string& path, const SeriesPair& pair,
+                   const TycosParams& params, const WindowSet& windows,
+                   const TycosStats& stats, const ReportOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << RenderReport(pair, params, windows, stats, options);
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace tycos

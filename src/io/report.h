@@ -1,0 +1,39 @@
+// Markdown report generation for a finished search: what was configured,
+// what was found, and how much work it took — the artifact you attach to an
+// analysis notebook or ticket.
+
+#ifndef TYCOS_IO_REPORT_H_
+#define TYCOS_IO_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/time_series.h"
+#include "core/window_set.h"
+#include "search/params.h"
+#include "search/tycos.h"
+
+namespace tycos {
+
+struct ReportOptions {
+  // Title of the report document.
+  std::string title = "TYCOS correlation report";
+  // Sampling interval in seconds; when > 0, window positions and delays are
+  // also printed in humane time units.
+  double seconds_per_sample = 0.0;
+};
+
+// Renders a markdown report for a completed run: parameter table, one row
+// per window (sorted by start), and the search statistics.
+std::string RenderReport(const SeriesPair& pair, const TycosParams& params,
+                         const WindowSet& windows, const TycosStats& stats,
+                         const ReportOptions& options = {});
+
+// RenderReport, written to a file.
+Status WriteReport(const std::string& path, const SeriesPair& pair,
+                   const TycosParams& params, const WindowSet& windows,
+                   const TycosStats& stats, const ReportOptions& options = {});
+
+}  // namespace tycos
+
+#endif  // TYCOS_IO_REPORT_H_

@@ -1,0 +1,78 @@
+#include "knn/brute_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tycos {
+
+namespace {
+
+// Collects the k nearest candidates (L∞) to `probe`, skipping `exclude`.
+// Ties on distance break on index for determinism. Returns extents over the
+// selected neighbours.
+KnnExtents ExtentsOfKnn(const std::vector<Point2>& points, const Point2& probe,
+                        int k, size_t exclude) {
+  TYCOS_CHECK_GE(k, 1);
+  using Cand = std::pair<double, size_t>;  // (distance, index)
+  std::vector<Cand> heap;                  // max-heap of the best k
+  heap.reserve(static_cast<size_t>(k) + 1);
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (j == exclude) continue;
+    const double d = ChebyshevDistance(points[j], probe);
+    if (heap.size() < static_cast<size_t>(k)) {
+      heap.emplace_back(d, j);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (Cand(d, j) < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = Cand(d, j);
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  TYCOS_CHECK_EQ(heap.size(), static_cast<size_t>(k));
+  KnnExtents e;
+  for (const Cand& c : heap) {
+    e.dx = std::max(e.dx, std::fabs(points[c.second].x - probe.x));
+    e.dy = std::max(e.dy, std::fabs(points[c.second].y - probe.y));
+  }
+  return e;
+}
+
+}  // namespace
+
+KnnExtents BruteKnnExtents(const std::vector<Point2>& points, size_t query,
+                           int k) {
+  TYCOS_CHECK_LT(query, points.size());
+  TYCOS_CHECK_GE(points.size(), static_cast<size_t>(k) + 1);
+  return ExtentsOfKnn(points, points[query], k, query);
+}
+
+KnnExtents BruteKnnExtentsAt(const std::vector<Point2>& points,
+                             const Point2& probe, int k) {
+  TYCOS_CHECK_GE(points.size(), static_cast<size_t>(k));
+  return ExtentsOfKnn(points, probe, k, points.size());
+}
+
+size_t CountWithinX(const std::vector<Point2>& points, double x, double dx,
+                    size_t exclude) {
+  size_t count = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i == exclude) continue;
+    if (std::fabs(points[i].x - x) <= dx) ++count;
+  }
+  return count;
+}
+
+size_t CountWithinY(const std::vector<Point2>& points, double y, double dy,
+                    size_t exclude) {
+  size_t count = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i == exclude) continue;
+    if (std::fabs(points[i].y - y) <= dy) ++count;
+  }
+  return count;
+}
+
+}  // namespace tycos

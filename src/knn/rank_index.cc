@@ -1,0 +1,54 @@
+#include "knn/rank_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tycos {
+
+RankIndex::RankIndex(std::vector<double> universe) : unique_(std::move(universe)) {
+  std::sort(unique_.begin(), unique_.end());
+  unique_.erase(std::unique(unique_.begin(), unique_.end()), unique_.end());
+  fenwick_.assign(unique_.size() + 1, 0);
+}
+
+size_t RankIndex::RankOf(double value) const {
+  auto it = std::lower_bound(unique_.begin(), unique_.end(), value);
+  TYCOS_CHECK(it != unique_.end() && *it == value);
+  return static_cast<size_t>(it - unique_.begin());
+}
+
+void RankIndex::Insert(double value) {
+  for (size_t i = RankOf(value) + 1; i < fenwick_.size(); i += i & (~i + 1)) {
+    ++fenwick_[i];
+  }
+  ++total_;
+}
+
+void RankIndex::Erase(double value) {
+  TYCOS_CHECK_GT(CountInRange(value, value), 0);
+  for (size_t i = RankOf(value) + 1; i < fenwick_.size(); i += i & (~i + 1)) {
+    --fenwick_[i];
+  }
+  --total_;
+}
+
+int64_t RankIndex::PrefixSum(size_t idx) const {
+  // Sum of counts for ranks [0, idx).
+  int64_t sum = 0;
+  for (size_t i = idx; i > 0; i -= i & (~i + 1)) {
+    sum += fenwick_[i];
+  }
+  return sum;
+}
+
+int64_t RankIndex::CountInRange(double lo, double hi) const {
+  if (lo > hi) return 0;
+  const size_t lo_rank = static_cast<size_t>(
+      std::lower_bound(unique_.begin(), unique_.end(), lo) - unique_.begin());
+  const size_t hi_rank = static_cast<size_t>(
+      std::upper_bound(unique_.begin(), unique_.end(), hi) - unique_.begin());
+  return PrefixSum(hi_rank) - PrefixSum(lo_rank);
+}
+
+}  // namespace tycos

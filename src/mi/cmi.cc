@@ -1,0 +1,118 @@
+#include "mi/cmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace tycos {
+
+namespace {
+
+// L∞ distance between samples i and j over the selected columns.
+double MaxDist(const std::vector<const std::vector<double>*>& cols, size_t i,
+               size_t j) {
+  double d = 0.0;
+  for (const std::vector<double>* c : cols) {
+    d = std::max(d, std::fabs((*c)[i] - (*c)[j]));
+  }
+  return d;
+}
+
+}  // namespace
+
+double ConditionalMi(const std::vector<double>& xs,
+                     const std::vector<double>& ys,
+                     const std::vector<std::vector<double>>& zs, int k) {
+  TYCOS_CHECK_GE(k, 1);
+  TYCOS_CHECK_EQ(xs.size(), ys.size());
+  for (const auto& z : zs) TYCOS_CHECK_EQ(z.size(), xs.size());
+  const size_t m = xs.size();
+  if (m < static_cast<size_t>(k) + 2) return 0.0;
+
+  std::vector<const std::vector<double>*> joint = {&xs, &ys};
+  std::vector<const std::vector<double>*> xz = {&xs};
+  std::vector<const std::vector<double>*> yz = {&ys};
+  std::vector<const std::vector<double>*> z_only;
+  for (const auto& z : zs) {
+    joint.push_back(&z);
+    xz.push_back(&z);
+    yz.push_back(&z);
+    z_only.push_back(&z);
+  }
+
+  DigammaTable psi;
+  double acc = 0.0;
+  std::vector<double> dist(m);
+  for (size_t i = 0; i < m; ++i) {
+    // Distance to the k-th nearest neighbour in the full joint space.
+    size_t count = 0;
+    for (size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      dist[count++] = MaxDist(joint, i, j);
+    }
+    std::nth_element(dist.begin(), dist.begin() + (k - 1),
+                     dist.begin() + static_cast<long>(count));
+    const double eps = dist[static_cast<size_t>(k - 1)];
+
+    // Strict counts within eps in the marginal subspaces (Frenzel–Pompe).
+    int64_t n_xz = 0, n_yz = 0, n_z = 0;
+    for (size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      if (MaxDist(xz, i, j) < eps) ++n_xz;
+      if (MaxDist(yz, i, j) < eps) ++n_yz;
+      if (!z_only.empty() && MaxDist(z_only, i, j) < eps) ++n_z;
+    }
+    if (z_only.empty()) {
+      // No conditioning: KSG estimator #1, ψ(k) + ψ(m) − ⟨ψ(nx+1)+ψ(ny+1)⟩.
+      acc += psi(static_cast<size_t>(n_xz + 1)) +
+             psi(static_cast<size_t>(n_yz + 1)) -
+             psi(m);
+    } else {
+      acc += psi(static_cast<size_t>(n_xz + 1)) +
+             psi(static_cast<size_t>(n_yz + 1)) -
+             psi(static_cast<size_t>(n_z + 1));
+    }
+  }
+  return psi(static_cast<size_t>(k)) - acc / static_cast<double>(m);
+}
+
+double TransferEntropy(const std::vector<double>& source,
+                       const std::vector<double>& target,
+                       const TransferEntropyOptions& options) {
+  TYCOS_CHECK_EQ(source.size(), target.size());
+  TYCOS_CHECK_GE(options.lag, 1);
+  TYCOS_CHECK_GE(options.history, 1);
+  const int64_t n = static_cast<int64_t>(source.size());
+  const int64_t start = std::max(options.lag, options.history);
+  const int64_t samples = n - start;
+  if (samples < options.k + 2) return 0.0;
+
+  std::vector<double> target_now(static_cast<size_t>(samples));
+  std::vector<double> source_past(static_cast<size_t>(samples));
+  std::vector<std::vector<double>> target_hist(
+      static_cast<size_t>(options.history),
+      std::vector<double>(static_cast<size_t>(samples)));
+  for (int64_t t = start; t < n; ++t) {
+    const size_t row = static_cast<size_t>(t - start);
+    target_now[row] = target[static_cast<size_t>(t)];
+    source_past[row] = source[static_cast<size_t>(t - options.lag)];
+    for (int64_t h = 1; h <= options.history; ++h) {
+      target_hist[static_cast<size_t>(h - 1)][row] =
+          target[static_cast<size_t>(t - h)];
+    }
+  }
+  return ConditionalMi(target_now, source_past, target_hist, options.k);
+}
+
+CausalDirection EstimateDirection(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  const TransferEntropyOptions& options) {
+  CausalDirection d;
+  d.te_forward = TransferEntropy(a, b, options);
+  d.te_backward = TransferEntropy(b, a, options);
+  return d;
+}
+
+}  // namespace tycos

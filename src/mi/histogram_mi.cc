@@ -1,0 +1,58 @@
+#include "mi/histogram_mi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace tycos {
+
+double HistogramMi(const std::vector<double>& xs,
+                   const std::vector<double>& ys, int bins) {
+  TYCOS_CHECK_EQ(xs.size(), ys.size());
+  const int64_t m = static_cast<int64_t>(xs.size());
+  if (m < 2) return 0.0;
+  const int64_t b = bins > 0
+                        ? bins
+                        : static_cast<int64_t>(
+                              std::ceil(std::sqrt(static_cast<double>(m))));
+  const auto [xlo_it, xhi_it] = std::minmax_element(xs.begin(), xs.end());
+  const auto [ylo_it, yhi_it] = std::minmax_element(ys.begin(), ys.end());
+  const double xlo = *xlo_it, ylo = *ylo_it;
+  const double xw = (*xhi_it - xlo) / static_cast<double>(b);
+  const double yw = (*yhi_it - ylo) / static_cast<double>(b);
+
+  auto bin_of = [](double v, double lo, double width, int64_t nbins) {
+    if (width <= 0.0) return int64_t{0};
+    return std::clamp<int64_t>(static_cast<int64_t>((v - lo) / width), 0,
+                               nbins - 1);
+  };
+
+  std::vector<int64_t> joint(static_cast<size_t>(b * b), 0);
+  std::vector<int64_t> mx(static_cast<size_t>(b), 0);
+  std::vector<int64_t> my(static_cast<size_t>(b), 0);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const int64_t bx = bin_of(xs[i], xlo, xw, b);
+    const int64_t by = bin_of(ys[i], ylo, yw, b);
+    ++joint[static_cast<size_t>(bx * b + by)];
+    ++mx[static_cast<size_t>(bx)];
+    ++my[static_cast<size_t>(by)];
+  }
+
+  double mi = 0.0;
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (int64_t bx = 0; bx < b; ++bx) {
+    for (int64_t by = 0; by < b; ++by) {
+      const int64_t c = joint[static_cast<size_t>(bx * b + by)];
+      if (c == 0) continue;
+      const double pxy = static_cast<double>(c) * inv_m;
+      const double px = static_cast<double>(mx[static_cast<size_t>(bx)]) * inv_m;
+      const double py = static_cast<double>(my[static_cast<size_t>(by)]) * inv_m;
+      mi += pxy * std::log(pxy / (px * py));
+    }
+  }
+  return mi;
+}
+
+}  // namespace tycos

@@ -1,0 +1,20 @@
+// Plug-in (histogram) MI estimator. Slower to converge and more biased than
+// KSG (the reason the paper chooses KSG), but simple and non-negative —
+// used as an independent cross-check in tests and for the estimator
+// comparison micro-benchmark.
+
+#ifndef TYCOS_MI_HISTOGRAM_MI_H_
+#define TYCOS_MI_HISTOGRAM_MI_H_
+
+#include <vector>
+
+namespace tycos {
+
+// I(X;Y) in nats from an equal-width 2-D histogram. `bins` <= 0 selects
+// ceil(sqrt(m)) bins per dimension.
+double HistogramMi(const std::vector<double>& xs,
+                   const std::vector<double>& ys, int bins = 0);
+
+}  // namespace tycos
+
+#endif  // TYCOS_MI_HISTOGRAM_MI_H_

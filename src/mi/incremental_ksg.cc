@@ -1,0 +1,281 @@
+#include "mi/incremental_ksg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "knn/brute_knn.h"
+#include "knn/kd_tree.h"
+
+namespace tycos {
+
+namespace {
+
+// ψ(max(n, 1)): the same clamp the batch estimator applies before the
+// digamma so degenerate floating-point counts cannot reach ψ(0).
+double PsiClamped(DigammaTable& psi, int64_t n) {
+  return psi(static_cast<size_t>(n < 1 ? 1 : n));
+}
+
+}  // namespace
+
+IncrementalKsg::IncrementalKsg(const SeriesPair& pair, int k)
+    : pair_(pair),
+      k_(k),
+      x_index_(pair.x().values()),
+      y_index_(pair.y().values()) {
+  TYCOS_CHECK_GE(k_, 1);
+}
+
+Point2 IncrementalKsg::PointAt(int64_t global_index, int64_t delay) const {
+  return {pair_.x()[global_index], pair_.y()[global_index + delay]};
+}
+
+int64_t IncrementalKsg::CountMarginalX(double x, double dx) const {
+  return x_index_.CountInRange(x - dx, x + dx) - 1;  // minus self
+}
+
+int64_t IncrementalKsg::CountMarginalY(double y, double dy) const {
+  return y_index_.CountInRange(y - dy, y + dy) - 1;
+}
+
+KnnExtents IncrementalKsg::ScanKnn(const Point2& probe,
+                                   size_t exclude_slot) const {
+  // Max-heap of the best k candidates ordered by (distance, slot) — the same
+  // deterministic tie-break as the batch backends.
+  using Cand = std::pair<double, size_t>;
+  std::vector<Cand> heap;
+  heap.reserve(static_cast<size_t>(k_) + 1);
+  for (size_t j = 0; j < points_.size(); ++j) {
+    if (j == exclude_slot) continue;
+    const double d = ChebyshevDistance(points_[j].p, probe);
+    if (heap.size() < static_cast<size_t>(k_)) {
+      heap.emplace_back(d, j);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (Cand(d, j) < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = Cand(d, j);
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  TYCOS_CHECK_EQ(heap.size(), static_cast<size_t>(k_));
+  KnnExtents e;
+  for (const Cand& c : heap) {
+    e.dx = std::max(e.dx, std::fabs(points_[c.second].p.x - probe.x));
+    e.dy = std::max(e.dy, std::fabs(points_[c.second].p.y - probe.y));
+  }
+  return e;
+}
+
+void IncrementalKsg::RecomputePoint(size_t slot) {
+  PointState& st = points_[slot];
+  sum_psi_ -= PsiClamped(psi_, st.nx) + PsiClamped(psi_, st.ny);
+  const KnnExtents e = ScanKnn(st.p, slot);
+  st.dx = e.dx;
+  st.dy = e.dy;
+  st.nx = CountMarginalX(st.p.x, st.dx);
+  st.ny = CountMarginalY(st.p.y, st.dy);
+  sum_psi_ += PsiClamped(psi_, st.nx) + PsiClamped(psi_, st.ny);
+  ++stats_.knn_recomputes;
+}
+
+void IncrementalKsg::Rebuild(const Window& w) {
+  for (const PointState& st : points_) {
+    x_index_.Erase(st.p.x);
+    y_index_.Erase(st.p.y);
+  }
+  points_.clear();
+  sum_psi_ = 0.0;
+
+  start_ = w.start;
+  end_ = w.end;
+  delay_ = w.delay;
+  const int64_t m = w.size();
+  if (m < k_ + 2) {
+    has_window_ = false;  // too small to estimate; force rebuild next time
+    return;
+  }
+  has_window_ = true;
+
+  std::vector<Point2> pts(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    pts[static_cast<size_t>(i)] = PointAt(start_ + i, delay_);
+    x_index_.Insert(pts[static_cast<size_t>(i)].x);
+    y_index_.Insert(pts[static_cast<size_t>(i)].y);
+  }
+
+  const bool use_tree = m > 256;
+  KdTree tree(use_tree ? pts : std::vector<Point2>{});
+  for (int64_t i = 0; i < m; ++i) {
+    PointState st;
+    st.p = pts[static_cast<size_t>(i)];
+    const KnnExtents e =
+        use_tree ? tree.QueryExtents(static_cast<size_t>(i), k_)
+                 : BruteKnnExtents(pts, static_cast<size_t>(i), k_);
+    st.dx = e.dx;
+    st.dy = e.dy;
+    st.nx = CountMarginalX(st.p.x, st.dx);
+    st.ny = CountMarginalY(st.p.y, st.dy);
+    sum_psi_ += PsiClamped(psi_, st.nx) + PsiClamped(psi_, st.ny);
+    points_.push_back(st);
+  }
+  ++stats_.full_rebuilds;
+}
+
+void IncrementalKsg::AddPoint(int64_t global_index) {
+  TYCOS_CHECK(global_index == start_ - 1 || global_index == end_ + 1);
+  const bool at_front = global_index == start_ - 1;
+  const Point2 o = PointAt(global_index, delay_);
+
+  // Classify existing points: IR hit -> kNN recompute; IMR hit -> count bump
+  // (Lemmas 3 and 5).
+  std::vector<size_t> to_recompute;
+  for (size_t j = 0; j < points_.size(); ++j) {
+    PointState& p = points_[j];
+    // IR membership is tested with the same ChebyshevDistance computation
+    // the kNN search uses, so a point exactly at the k-th distance (e.g. the
+    // defining neighbour) is classified identically — reconstructing box
+    // bounds as p.x ± d would round differently and miss it.
+    const double d = std::max(p.dx, p.dy);
+    const bool in_ir = ChebyshevDistance(o, p.p) <= d;
+    if (in_ir) {
+      to_recompute.push_back(j);
+      continue;
+    }
+    if (o.x >= p.p.x - p.dx && o.x <= p.p.x + p.dx) {
+      sum_psi_ -= PsiClamped(psi_, p.nx);
+      ++p.nx;
+      sum_psi_ += PsiClamped(psi_, p.nx);
+      ++stats_.marginal_updates;
+    }
+    if (o.y >= p.p.y - p.dy && o.y <= p.p.y + p.dy) {
+      sum_psi_ -= PsiClamped(psi_, p.ny);
+      ++p.ny;
+      sum_psi_ += PsiClamped(psi_, p.ny);
+      ++stats_.marginal_updates;
+    }
+  }
+
+  // Insert the new point.
+  x_index_.Insert(o.x);
+  y_index_.Insert(o.y);
+  PointState st;
+  st.p = o;
+  if (at_front) {
+    points_.push_front(st);
+    --start_;
+    // Slots shifted by one.
+    for (size_t& j : to_recompute) ++j;
+  } else {
+    points_.push_back(st);
+    ++end_;
+  }
+  const size_t own_slot = at_front ? 0 : points_.size() - 1;
+
+  // The new point's own state.
+  {
+    PointState& self = points_[own_slot];
+    const KnnExtents e = ScanKnn(self.p, own_slot);
+    self.dx = e.dx;
+    self.dy = e.dy;
+    self.nx = CountMarginalX(self.p.x, self.dx);
+    self.ny = CountMarginalY(self.p.y, self.dy);
+    sum_psi_ += PsiClamped(psi_, self.nx) + PsiClamped(psi_, self.ny);
+  }
+
+  // Re-derive state for IR-hit points now that o is in the window.
+  for (size_t j : to_recompute) RecomputePoint(j);
+  ++stats_.points_added;
+}
+
+void IncrementalKsg::RemovePoint(int64_t global_index) {
+  TYCOS_CHECK(global_index == start_ || global_index == end_);
+  const bool at_front = global_index == start_;
+  const size_t slot = at_front ? 0 : points_.size() - 1;
+  const PointState removed = points_[slot];
+
+  sum_psi_ -= PsiClamped(psi_, removed.nx) + PsiClamped(psi_, removed.ny);
+  x_index_.Erase(removed.p.x);
+  y_index_.Erase(removed.p.y);
+  if (at_front) {
+    points_.pop_front();
+    ++start_;
+  } else {
+    points_.pop_back();
+    --end_;
+  }
+
+  // Classify survivors against the removed point (Lemmas 4 and 6).
+  std::vector<size_t> to_recompute;
+  for (size_t j = 0; j < points_.size(); ++j) {
+    PointState& p = points_[j];
+    // Same exact-distance IR test as in AddPoint (see comment there).
+    const double d = std::max(p.dx, p.dy);
+    const bool in_ir = ChebyshevDistance(removed.p, p.p) <= d;
+    if (in_ir) {
+      to_recompute.push_back(j);
+      continue;
+    }
+    if (removed.p.x >= p.p.x - p.dx && removed.p.x <= p.p.x + p.dx) {
+      sum_psi_ -= PsiClamped(psi_, p.nx);
+      --p.nx;
+      sum_psi_ += PsiClamped(psi_, p.nx);
+      ++stats_.marginal_updates;
+    }
+    if (removed.p.y >= p.p.y - p.dy && removed.p.y <= p.p.y + p.dy) {
+      sum_psi_ -= PsiClamped(psi_, p.ny);
+      --p.ny;
+      sum_psi_ += PsiClamped(psi_, p.ny);
+      ++stats_.marginal_updates;
+    }
+  }
+  for (size_t j : to_recompute) RecomputePoint(j);
+  ++stats_.points_removed;
+}
+
+double IncrementalKsg::SetWindow(const Window& w) {
+  TYCOS_CHECK_GE(w.start, 0);
+  TYCOS_CHECK_LT(w.end, pair_.size());
+  TYCOS_CHECK_GE(w.y_start(), 0);
+  TYCOS_CHECK_LT(w.y_end(), pair_.size());
+
+  if (w.size() < k_ + 2) {
+    Rebuild(w);  // clears state; CurrentMi() is 0
+    return 0.0;
+  }
+
+  bool incremental = has_window_ && w.delay == delay_;
+  if (incremental) {
+    const int64_t overlap =
+        std::min(end_, w.end) - std::max(start_, w.start) + 1;
+    const int64_t changes =
+        (w.size() - std::max<int64_t>(overlap, 0)) +
+        (WindowSizeNow() - std::max<int64_t>(overlap, 0));
+    // Fall back to a rebuild when too little is shared (the intermediate
+    // window must also stay large enough for kNN queries).
+    if (overlap < k_ + 2 || changes >= w.size()) incremental = false;
+  }
+
+  if (!incremental) {
+    Rebuild(w);
+    return CurrentMi();
+  }
+
+  // Shrink first (front then back), then grow, so the active set is always
+  // a valid window between edits.
+  while (start_ < w.start) RemovePoint(start_);
+  while (end_ > w.end) RemovePoint(end_);
+  while (start_ > w.start) AddPoint(start_ - 1);
+  while (end_ < w.end) AddPoint(end_ + 1);
+  ++stats_.incremental_moves;
+  return CurrentMi();
+}
+
+double IncrementalKsg::CurrentMi() const {
+  if (!has_window_) return 0.0;
+  const int64_t m = WindowSizeNow();
+  if (m < k_ + 2) return 0.0;
+  return psi_(static_cast<size_t>(k_)) - 1.0 / k_ -
+         sum_psi_ / static_cast<double>(m) + psi_(static_cast<size_t>(m));
+}
+
+}  // namespace tycos

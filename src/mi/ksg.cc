@@ -1,0 +1,222 @@
+#include "mi/ksg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+
+#include "common/math.h"
+#include "knn/brute_knn.h"
+#include "knn/grid_index.h"
+#include "knn/kd_tree.h"
+#include "mi/entropy.h"
+
+namespace tycos {
+
+namespace internal {
+
+namespace {
+
+// SplitMix64: cheap, high-quality 64-bit mix used to derive deterministic
+// per-index jitter.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void ApplyTieJitter(std::vector<double>* values, double relative_amplitude,
+                    uint64_t salt) {
+  if (relative_amplitude <= 0.0 || values->empty()) return;
+  const auto [lo, hi] = std::minmax_element(values->begin(), values->end());
+  double range = *hi - *lo;
+  if (range == 0.0) range = 1.0;
+  const double amp = relative_amplitude * range;
+  for (size_t i = 0; i < values->size(); ++i) {
+    // Uniform in [-0.5, 0.5), scaled.
+    const double u =
+        static_cast<double>(Mix64(salt * 0x9e3779b97f4a7c15ULL + i) >> 11) *
+            (1.0 / 9007199254740992.0) -
+        0.5;
+    (*values)[i] += amp * u;
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+// Closed-interval marginal count over a sorted value array, self excluded:
+// #{ j != self : center - d <= v_j <= center + d }. All call sites (batch
+// and incremental estimators) share these closed-interval semantics.
+int64_t CountClosed(const std::vector<double>& sorted, double center,
+                    double d) {
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), center - d);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), center + d);
+  return static_cast<int64_t>(hi - lo) - 1;  // minus self
+}
+
+// Theiler-corrected KSG: every count excludes samples within
+// `theiler` steps of the query index. Brute-force O(m(m + T)) — this mode
+// is an accuracy feature for autocorrelated data, not a fast path.
+double KsgMiTheiler(const std::vector<double>& x, const std::vector<double>& y,
+                    int k, int64_t theiler) {
+  const int64_t m = static_cast<int64_t>(x.size());
+  // Need at least k eligible candidates for every point.
+  if (m - 2 * theiler - 1 < k + 1) return 0.0;
+
+  std::vector<Point2> points(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    points[static_cast<size_t>(i)] = {x[static_cast<size_t>(i)],
+                                      y[static_cast<size_t>(i)]};
+  }
+
+  DigammaTable psi;
+  double marginal_sum = 0.0;
+  double pool_sum = 0.0;
+  using Cand = std::pair<double, int64_t>;
+  std::vector<Cand> heap;
+  for (int64_t i = 0; i < m; ++i) {
+    const Point2& probe = points[static_cast<size_t>(i)];
+    // kNN over the temporally eligible candidates.
+    heap.clear();
+    int64_t pool = 0;
+    for (int64_t j = 0; j < m; ++j) {
+      if (std::llabs(i - j) <= theiler) continue;
+      ++pool;
+      const double d = ChebyshevDistance(points[static_cast<size_t>(j)], probe);
+      if (heap.size() < static_cast<size_t>(k)) {
+        heap.emplace_back(d, j);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (Cand(d, j) < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = Cand(d, j);
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    double dx = 0.0, dy = 0.0;
+    for (const Cand& c : heap) {
+      dx = std::max(dx, std::fabs(points[static_cast<size_t>(c.second)].x -
+                                  probe.x));
+      dy = std::max(dy, std::fabs(points[static_cast<size_t>(c.second)].y -
+                                  probe.y));
+    }
+    // Marginal counts over the same eligible pool.
+    int64_t nx = 0, ny = 0;
+    for (int64_t j = 0; j < m; ++j) {
+      if (std::llabs(i - j) <= theiler) continue;
+      if (std::fabs(points[static_cast<size_t>(j)].x - probe.x) <= dx) ++nx;
+      if (std::fabs(points[static_cast<size_t>(j)].y - probe.y) <= dy) ++ny;
+    }
+    marginal_sum += psi(static_cast<size_t>(std::max<int64_t>(nx, 1))) +
+                    psi(static_cast<size_t>(std::max<int64_t>(ny, 1)));
+    pool_sum += psi(static_cast<size_t>(pool));
+  }
+  // Per-point pool sizes replace ψ(m): each point's neighbourhood
+  // probabilities are estimated against its own eligible candidate set.
+  return psi(static_cast<size_t>(k)) - 1.0 / k -
+         marginal_sum / static_cast<double>(m) +
+         pool_sum / static_cast<double>(m);
+}
+
+}  // namespace
+
+double KsgMi(const std::vector<double>& xs, const std::vector<double>& ys,
+             const KsgOptions& options) {
+  TYCOS_CHECK_EQ(xs.size(), ys.size());
+  const int64_t m = static_cast<int64_t>(xs.size());
+  const int k = options.k;
+  TYCOS_CHECK_GE(k, 1);
+  if (m < k + 2) return 0.0;
+
+  std::vector<double> x = xs;
+  std::vector<double> y = ys;
+  if (options.tie_jitter > 0.0) {
+    internal::ApplyTieJitter(&x, options.tie_jitter, /*salt=*/1);
+    internal::ApplyTieJitter(&y, options.tie_jitter, /*salt=*/2);
+  }
+
+  if (options.theiler_window > 0) {
+    return KsgMiTheiler(x, y, k, options.theiler_window);
+  }
+
+  std::vector<Point2> points(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    points[static_cast<size_t>(i)] = {x[static_cast<size_t>(i)],
+                                      y[static_cast<size_t>(i)]};
+  }
+  std::vector<double> sorted_x = x;
+  std::vector<double> sorted_y = y;
+  std::sort(sorted_x.begin(), sorted_x.end());
+  std::sort(sorted_y.begin(), sorted_y.end());
+
+  KnnBackend backend = options.backend;
+  if (backend == KnnBackend::kAuto) {
+    backend = m <= 256 ? KnnBackend::kBrute : KnnBackend::kKdTree;
+  }
+
+  DigammaTable psi;
+  double marginal_sum = 0.0;
+  auto accumulate = [&](int64_t i, const KnnExtents& e) {
+    const int64_t nx = std::max<int64_t>(
+        1, CountClosed(sorted_x, x[static_cast<size_t>(i)], e.dx));
+    const int64_t ny = std::max<int64_t>(
+        1, CountClosed(sorted_y, y[static_cast<size_t>(i)], e.dy));
+    marginal_sum += psi(static_cast<size_t>(nx)) + psi(static_cast<size_t>(ny));
+  };
+  if (backend == KnnBackend::kKdTree) {
+    KdTree tree(points);
+    for (int64_t i = 0; i < m; ++i) {
+      accumulate(i, tree.QueryExtents(static_cast<size_t>(i), k));
+    }
+  } else if (backend == KnnBackend::kGrid) {
+    GridIndex grid(points);
+    for (int64_t i = 0; i < m; ++i) {
+      accumulate(i, grid.QueryExtents(static_cast<size_t>(i), k));
+    }
+  } else {
+    for (int64_t i = 0; i < m; ++i) {
+      accumulate(i, BruteKnnExtents(points, static_cast<size_t>(i), k));
+    }
+  }
+
+  return psi(static_cast<size_t>(k)) - 1.0 / k -
+         marginal_sum / static_cast<double>(m) + psi(static_cast<size_t>(m));
+}
+
+double KsgMi(const SeriesPair& pair, const Window& w,
+             const KsgOptions& options) {
+  std::vector<double> xs, ys;
+  ExtractSamples(pair, w, &xs, &ys);
+  return KsgMi(xs, ys, options);
+}
+
+double NormalizedMi(const std::vector<double>& xs,
+                    const std::vector<double>& ys, const KsgOptions& options,
+                    MiNormalization mode, double small_sample_penalty) {
+  double mi = KsgMi(xs, ys, options);
+  if (small_sample_penalty > 0.0 && !xs.empty()) {
+    mi -= small_sample_penalty / std::sqrt(static_cast<double>(xs.size()));
+  }
+  if (mi <= 0.0) return 0.0;
+  if (mode == MiNormalization::kCorrelationCoefficient) {
+    return std::sqrt(1.0 - std::exp(-2.0 * mi));
+  }
+  const double h = HistogramJointEntropy(xs, ys);
+  if (h <= 0.0) return 0.0;
+  return std::clamp(mi / h, 0.0, 1.0);
+}
+
+double NormalizedMi(const SeriesPair& pair, const Window& w,
+                    const KsgOptions& options, MiNormalization mode,
+                    double small_sample_penalty) {
+  std::vector<double> xs, ys;
+  ExtractSamples(pair, w, &xs, &ys);
+  return NormalizedMi(xs, ys, options, mode, small_sample_penalty);
+}
+
+}  // namespace tycos

@@ -1,0 +1,33 @@
+#include "mi/pearson.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tycos {
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  TYCOS_CHECK_EQ(xs.size(), ys.size());
+  const size_t m = xs.size();
+  if (m < 2) return 0.0;
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(m);
+  const double my = sy / static_cast<double>(m);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace tycos

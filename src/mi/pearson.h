@@ -1,0 +1,18 @@
+// Pearson correlation coefficient (PCC), the traditional linear correlation
+// metric used as a baseline (Section 8.1).
+
+#ifndef TYCOS_MI_PEARSON_H_
+#define TYCOS_MI_PEARSON_H_
+
+#include <vector>
+
+namespace tycos {
+
+// Pearson's r in [-1, 1]. Returns 0 when either input is constant or when
+// fewer than 2 samples are supplied.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace tycos
+
+#endif  // TYCOS_MI_PEARSON_H_

@@ -1,0 +1,48 @@
+// Exact brute-force TYCOS (Section 5.1): enumerates every feasible window
+// (start × size × delay) and reports all whose score clears σ. Worst-case
+// O(n³m²) with batch MI; the incremental mode (default) rides the Section 7
+// estimator along each (start, delay) scanline, giving the expected-case
+// cost the paper attributes to efficient kNN structures.
+
+#ifndef TYCOS_SEARCH_BRUTE_FORCE_SEARCH_H_
+#define TYCOS_SEARCH_BRUTE_FORCE_SEARCH_H_
+
+#include <cstdint>
+
+#include "core/time_series.h"
+#include "core/window_set.h"
+#include "search/params.h"
+
+namespace tycos {
+
+struct BruteForceResult {
+  // Every feasible window scoring >= σ, merged per delay into maximal
+  // covering windows (the aggregation of Section 8.4B).
+  std::vector<Window> merged;
+  // The same windows before merging.
+  std::vector<Window> raw;
+  int64_t windows_evaluated = 0;
+};
+
+class BruteForceSearch {
+ public:
+  // `pair` is copied (and jittered per params.tie_jitter). Params must
+  // validate.
+  BruteForceSearch(const SeriesPair& pair, const TycosParams& params,
+                   bool use_incremental_mi = true);
+
+  BruteForceResult Run();
+
+  // Number of feasible windows for the configured parameters (Lemma 1's
+  // (n - s_min + 1)(s_max - s_min + 1)(2 td_max + 1) bound, exactly counted).
+  int64_t CountFeasibleWindows() const;
+
+ private:
+  SeriesPair pair_;
+  TycosParams params_;
+  bool use_incremental_mi_;
+};
+
+}  // namespace tycos
+
+#endif  // TYCOS_SEARCH_BRUTE_FORCE_SEARCH_H_

@@ -1,0 +1,108 @@
+#include "search/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mi/entropy.h"
+
+namespace tycos {
+
+namespace {
+
+// Packs (start, end, delay) into one 64-bit key. 21 bits per field supports
+// series up to 2^21 (~2M) samples, far beyond the search scales here.
+uint64_t WindowKey(const Window& w) {
+  TYCOS_CHECK_LT(w.start, int64_t{1} << 21);
+  TYCOS_CHECK_LT(w.end, int64_t{1} << 21);
+  TYCOS_CHECK_LT(w.delay, int64_t{1} << 20);
+  TYCOS_CHECK_GT(w.delay, -(int64_t{1} << 20));
+  return (static_cast<uint64_t>(w.start) << 42) |
+         (static_cast<uint64_t>(w.end) << 21) |
+         static_cast<uint64_t>(w.delay + (int64_t{1} << 20));
+}
+
+double NormalizeScore(double raw_mi, const SeriesPair& pair, const Window& w,
+                      const TycosParams& params) {
+  if (params.small_sample_penalty > 0.0 && w.size() > 0) {
+    raw_mi -=
+        params.small_sample_penalty / std::sqrt(static_cast<double>(w.size()));
+  }
+  if (raw_mi <= 0.0) return 0.0;
+  if (params.normalization == MiNormalization::kCorrelationCoefficient) {
+    return std::sqrt(1.0 - std::exp(-2.0 * raw_mi));
+  }
+  std::vector<double> xs, ys;
+  ExtractSamples(pair, w, &xs, &ys);
+  const double h = HistogramJointEntropy(xs, ys);
+  if (h <= 0.0) return 0.0;
+  return std::clamp(raw_mi / h, 0.0, 1.0);
+}
+
+KsgOptions OptionsFrom(const TycosParams& params) {
+  KsgOptions o;
+  o.k = params.k;
+  o.backend = params.backend;
+  o.tie_jitter = 0.0;  // jitter is applied to the series once, up front
+  o.theiler_window = params.theiler_window;
+  return o;
+}
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(const SeriesPair& pair,
+                               const TycosParams& params)
+    : pair_(pair), params_(params) {}
+
+double BatchEvaluator::Score(const Window& w) {
+  ++evaluations_;
+  const double raw = KsgMi(pair_, w, OptionsFrom(params_));
+  return NormalizeScore(raw, pair_, w, params_);
+}
+
+IncrementalEvaluator::IncrementalEvaluator(const SeriesPair& pair,
+                                           const TycosParams& params,
+                                           int64_t small_window_threshold)
+    : pair_(pair),
+      params_(params),
+      ksg_(pair, params.k),
+      small_window_threshold_(small_window_threshold) {}
+
+double IncrementalEvaluator::Score(const Window& w) {
+  ++evaluations_;
+  const double raw = w.size() < small_window_threshold_
+                         ? KsgMi(pair_, w, OptionsFrom(params_))
+                         : ksg_.SetWindow(w);
+  return NormalizeScore(raw, pair_, w, params_);
+}
+
+CachingEvaluator::CachingEvaluator(std::unique_ptr<WindowEvaluator> inner,
+                                   size_t max_entries)
+    : inner_(std::move(inner)), max_entries_(max_entries) {}
+
+double CachingEvaluator::Score(const Window& w) {
+  const uint64_t key = WindowKey(w);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const double score = inner_->Score(w);
+  if (cache_.size() >= max_entries_) cache_.clear();
+  cache_.emplace(key, score);
+  return score;
+}
+
+std::unique_ptr<WindowEvaluator> MakeEvaluator(const SeriesPair& pair,
+                                               const TycosParams& params,
+                                               bool incremental) {
+  std::unique_ptr<WindowEvaluator> core;
+  if (incremental) {
+    core = std::make_unique<IncrementalEvaluator>(pair, params);
+  } else {
+    core = std::make_unique<BatchEvaluator>(pair, params);
+  }
+  if (!params.cache_evaluations) return core;
+  return std::make_unique<CachingEvaluator>(std::move(core));
+}
+
+}  // namespace tycos

@@ -1,0 +1,105 @@
+// Window evaluators: map a time-delay window to its [0, 1] correlation score
+// (normalized MI). Two implementations share one interface so every search
+// variant can run with or without the Section 7 incremental computation:
+//
+//  * BatchEvaluator      — stateless KsgMi per window (TYCOS_L / TYCOS_LN).
+//  * IncrementalEvaluator — IncrementalKsg with IR/IMR reuse
+//                           (TYCOS_LM / TYCOS_LMN).
+//
+// CachingEvaluator wraps either with an exact memo table, since overlapping
+// neighbourhood shells re-generate the same windows across iterations.
+
+#ifndef TYCOS_SEARCH_EVALUATOR_H_
+#define TYCOS_SEARCH_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/time_series.h"
+#include "core/window.h"
+#include "mi/incremental_ksg.h"
+#include "search/params.h"
+
+namespace tycos {
+
+class WindowEvaluator {
+ public:
+  virtual ~WindowEvaluator() = default;
+
+  // Correlation score of w in [0, 1] (normalized MI per the params'
+  // normalization mode). Windows smaller than k + 2 score 0.
+  virtual double Score(const Window& w) = 0;
+
+  // Number of MI estimations performed (cache hits excluded).
+  virtual int64_t evaluations() const = 0;
+};
+
+// Scores each window independently with the batch KSG estimator.
+class BatchEvaluator : public WindowEvaluator {
+ public:
+  // `pair` must outlive the evaluator.
+  BatchEvaluator(const SeriesPair& pair, const TycosParams& params);
+
+  double Score(const Window& w) override;
+  int64_t evaluations() const override { return evaluations_; }
+
+ private:
+  const SeriesPair& pair_;
+  const TycosParams params_;
+  int64_t evaluations_ = 0;
+};
+
+// Scores windows through a persistent IncrementalKsg, reusing kNN and
+// marginal state across overlapping windows. Windows below
+// `small_window_threshold` bypass the incremental state and are scored
+// statelessly: for tiny windows a fresh O(m²) estimate is cheaper than
+// maintaining IR/IMR state, and skipping them preserves the locality of the
+// large-window state across interleaved small probes.
+class IncrementalEvaluator : public WindowEvaluator {
+ public:
+  IncrementalEvaluator(const SeriesPair& pair, const TycosParams& params,
+                       int64_t small_window_threshold = 96);
+
+  double Score(const Window& w) override;
+  int64_t evaluations() const override { return evaluations_; }
+
+  const IncrementalKsgStats& incremental_stats() const {
+    return ksg_.stats();
+  }
+
+ private:
+  const SeriesPair& pair_;
+  const TycosParams params_;
+  IncrementalKsg ksg_;
+  int64_t small_window_threshold_;
+  int64_t evaluations_ = 0;
+};
+
+// Exact memoization layer over another evaluator.
+class CachingEvaluator : public WindowEvaluator {
+ public:
+  explicit CachingEvaluator(std::unique_ptr<WindowEvaluator> inner,
+                            size_t max_entries = 1u << 20);
+
+  double Score(const Window& w) override;
+  int64_t evaluations() const override { return inner_->evaluations(); }
+
+  int64_t cache_hits() const { return hits_; }
+
+ private:
+  std::unique_ptr<WindowEvaluator> inner_;
+  std::unordered_map<uint64_t, double> cache_;
+  size_t max_entries_;
+  int64_t hits_ = 0;
+};
+
+// Builds the evaluator stack for a search: incremental or batch core,
+// optionally wrapped in a cache, honoring params.cache_evaluations.
+std::unique_ptr<WindowEvaluator> MakeEvaluator(const SeriesPair& pair,
+                                               const TycosParams& params,
+                                               bool incremental);
+
+}  // namespace tycos
+
+#endif  // TYCOS_SEARCH_EVALUATOR_H_

@@ -1,0 +1,31 @@
+#include "search/lahc.h"
+
+#include "common/check.h"
+
+namespace tycos {
+
+LahcHistory::LahcHistory(int length, double initial_value) {
+  TYCOS_CHECK_GE(length, 1);
+  values_.assign(static_cast<size_t>(length), initial_value);
+}
+
+size_t LahcHistory::SampleSlot(Rng& rng) const {
+  return static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(values_.size()) - 1));
+}
+
+double LahcHistory::ValueAt(size_t slot) const {
+  TYCOS_CHECK_LT(slot, values_.size());
+  return values_[slot];
+}
+
+void LahcHistory::Update(size_t slot, double value) {
+  TYCOS_CHECK_LT(slot, values_.size());
+  values_[slot] = value;
+}
+
+void LahcHistory::Reset(double value) {
+  values_.assign(values_.size(), value);
+}
+
+}  // namespace tycos

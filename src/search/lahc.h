@@ -1,0 +1,41 @@
+// Late Acceptance Hill Climbing history list (Burke & Bykov), the acceptance
+// mechanism of Section 3.2 / Algorithm 1. TYCOS uses the *random* selection
+// and update policy: each iteration samples one history slot to compare the
+// candidate against, and the same slot is refreshed when the current
+// solution beats it.
+
+#ifndef TYCOS_SEARCH_LAHC_H_
+#define TYCOS_SEARCH_LAHC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tycos {
+
+class LahcHistory {
+ public:
+  // A history of `length` slots, each initialized to `initial_value`
+  // (conventionally the score of the initial solution).
+  LahcHistory(int length, double initial_value);
+
+  // Samples a slot index uniformly at random.
+  size_t SampleSlot(Rng& rng) const;
+
+  double ValueAt(size_t slot) const;
+
+  // Overwrites the slot with `value` (Algorithm 1 lines 16–18).
+  void Update(size_t slot, double value);
+
+  // Resets every slot to `value` (used on climb restarts).
+  void Reset(double value);
+
+  int length() const { return static_cast<int>(values_.size()); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace tycos
+
+#endif  // TYCOS_SEARCH_LAHC_H_

@@ -1,0 +1,58 @@
+#include "search/pairwise.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tycos {
+
+std::vector<const PairwiseEntry*> PairwiseResult::Correlated() const {
+  std::vector<const PairwiseEntry*> out;
+  for (const PairwiseEntry& e : entries) {
+    if (!e.windows.empty()) out.push_back(&e);
+  }
+  return out;
+}
+
+PairwiseResult PairwiseSearch(const std::vector<TimeSeries>& channels,
+                              const TycosParams& params, TycosVariant variant,
+                              uint64_t seed) {
+  TYCOS_CHECK_GE(channels.size(), 2u);
+  for (const TimeSeries& c : channels) {
+    TYCOS_CHECK_EQ(c.size(), channels[0].size());
+  }
+
+  PairwiseResult result;
+  const int n = static_cast<int>(channels.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      PairwiseEntry entry;
+      entry.a = a;
+      entry.b = b;
+      const SeriesPair pair(channels[static_cast<size_t>(a)],
+                            channels[static_cast<size_t>(b)]);
+      Tycos search(pair, params, variant,
+                   seed + static_cast<uint64_t>(a) * 1000003u +
+                       static_cast<uint64_t>(b));
+      entry.windows = search.Run();
+      for (const Window& w : entry.windows.windows()) {
+        entry.best_score = std::max(entry.best_score, w.mi);
+      }
+      result.entries.push_back(std::move(entry));
+    }
+  }
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const PairwiseEntry& x, const PairwiseEntry& y) {
+              if (x.best_score != y.best_score) {
+                return x.best_score > y.best_score;
+              }
+              if (x.window_count() != y.window_count()) {
+                return x.window_count() > y.window_count();
+              }
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return result;
+}
+
+}  // namespace tycos

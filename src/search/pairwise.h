@@ -1,0 +1,46 @@
+// Pairwise correlation discovery: runs TYCOS over every unordered pair of
+// channels and ranks the pairs — the workflow of the paper's energy
+// evaluation ("we create pairwise time series from 72 plugs, and apply
+// TYCOS on each time series pair"). Delay signs cover directionality, so
+// each unordered pair is searched once.
+
+#ifndef TYCOS_SEARCH_PAIRWISE_H_
+#define TYCOS_SEARCH_PAIRWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_series.h"
+#include "core/window_set.h"
+#include "search/params.h"
+#include "search/tycos.h"
+
+namespace tycos {
+
+struct PairwiseEntry {
+  int a = 0;  // channel indices into the input vector
+  int b = 0;
+  WindowSet windows;
+  double best_score = 0.0;  // strongest window, 0 when none found
+
+  int64_t window_count() const { return static_cast<int64_t>(windows.size()); }
+};
+
+struct PairwiseResult {
+  // One entry per unordered channel pair, sorted by best_score descending
+  // (ties broken by window count, then by (a, b)).
+  std::vector<PairwiseEntry> entries;
+
+  // Entries that actually found windows.
+  std::vector<const PairwiseEntry*> Correlated() const;
+};
+
+// Runs Tycos(variant) on every pair of `channels` (all must share a
+// length). Seeds are derived per pair for reproducibility.
+PairwiseResult PairwiseSearch(const std::vector<TimeSeries>& channels,
+                              const TycosParams& params, TycosVariant variant,
+                              uint64_t seed = 42);
+
+}  // namespace tycos
+
+#endif  // TYCOS_SEARCH_PAIRWISE_H_

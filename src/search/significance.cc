@@ -1,0 +1,51 @@
+#include "search/significance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/window.h"
+
+namespace tycos {
+
+double WindowPValue(const SeriesPair& pair, const Window& w,
+                    const SignificanceOptions& options) {
+  TYCOS_CHECK_GE(options.permutations, 1);
+  std::vector<double> xs, ys;
+  ExtractSamples(pair, w, &xs, &ys);
+  const int64_t m = static_cast<int64_t>(xs.size());
+  if (m < options.ksg.k + 2) return 1.0;
+
+  const double observed = KsgMi(xs, ys, options.ksg);
+  const int64_t min_shift = std::max<int64_t>(
+      1, static_cast<int64_t>(options.min_shift_fraction *
+                              static_cast<double>(m)));
+  // Degenerate windows where no shift range exists cannot be tested.
+  if (min_shift >= m - min_shift) return 1.0;
+
+  Rng rng(options.seed);
+  std::vector<double> shifted(ys.size());
+  int at_least_as_large = 0;
+  for (int p = 0; p < options.permutations; ++p) {
+    const int64_t shift = rng.UniformInt(min_shift, m - 1 - min_shift);
+    for (int64_t i = 0; i < m; ++i) {
+      shifted[static_cast<size_t>(i)] =
+          ys[static_cast<size_t>((i + shift) % m)];
+    }
+    if (KsgMi(xs, shifted, options.ksg) >= observed) ++at_least_as_large;
+  }
+  return static_cast<double>(1 + at_least_as_large) /
+         static_cast<double>(1 + options.permutations);
+}
+
+WindowSet FilterSignificant(const SeriesPair& pair, const WindowSet& windows,
+                            double alpha,
+                            const SignificanceOptions& options) {
+  WindowSet kept;
+  for (const Window& w : windows.windows()) {
+    if (WindowPValue(pair, w, options) <= alpha) kept.Insert(w);
+  }
+  return kept;
+}
+
+}  // namespace tycos

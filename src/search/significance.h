@@ -1,0 +1,47 @@
+// Surrogate-based significance testing for extracted windows.
+//
+// The correlation threshold σ is a point estimate cutoff; for borderline
+// windows (short, noisy, or autocorrelated data) a calibrated answer to
+// "could this MI arise with no cross-dependence at all?" is more useful.
+// The standard time-series surrogate applies: circularly shift the window's
+// Y samples by random offsets — marginal distribution and serial structure
+// are preserved exactly, cross-dependence at the window's alignment is
+// destroyed — and compare the observed MI against the surrogate
+// distribution.
+
+#ifndef TYCOS_SEARCH_SIGNIFICANCE_H_
+#define TYCOS_SEARCH_SIGNIFICANCE_H_
+
+#include <cstdint>
+
+#include "core/time_series.h"
+#include "core/window_set.h"
+#include "mi/ksg.h"
+
+namespace tycos {
+
+struct SignificanceOptions {
+  // Number of circular-shift surrogates. The smallest achievable p-value is
+  // 1 / (permutations + 1).
+  int permutations = 99;
+  uint64_t seed = 7;
+  // Minimum circular shift, as a fraction of the window size, so surrogates
+  // do not stay nearly aligned with the original.
+  double min_shift_fraction = 0.1;
+  KsgOptions ksg;
+};
+
+// One-sided permutation p-value for the window's MI: the add-one estimate
+// (1 + #{surrogate MI >= observed}) / (1 + permutations).
+double WindowPValue(const SeriesPair& pair, const Window& w,
+                    const SignificanceOptions& options = {});
+
+// Keeps the windows whose p-value is <= alpha; each kept window's MI field
+// is left untouched.
+WindowSet FilterSignificant(const SeriesPair& pair, const WindowSet& windows,
+                            double alpha,
+                            const SignificanceOptions& options = {});
+
+}  // namespace tycos
+
+#endif  // TYCOS_SEARCH_SIGNIFICANCE_H_

@@ -1,0 +1,77 @@
+#include "search/streaming.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tycos {
+
+StreamingTycos::StreamingTycos(const TycosParams& params, TycosVariant variant,
+                               uint64_t seed, int64_t search_trigger)
+    : params_(params),
+      variant_(variant),
+      seed_(seed),
+      search_trigger_(search_trigger > 0 ? search_trigger : 2 * params.s_max) {
+  TYCOS_CHECK_GE(search_trigger_, params_.s_min);
+}
+
+void StreamingTycos::Append(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  TYCOS_CHECK_EQ(xs.size(), ys.size());
+  buffer_x_.insert(buffer_x_.end(), xs.begin(), xs.end());
+  buffer_y_.insert(buffer_y_.end(), ys.begin(), ys.end());
+  samples_seen_ += static_cast<int64_t>(xs.size());
+  MaybeSearch(/*force=*/false);
+}
+
+void StreamingTycos::Flush() { MaybeSearch(/*force=*/true); }
+
+void StreamingTycos::MaybeSearch(bool force) {
+  const int64_t unsearched = samples_seen_ - searched_until_;
+  if (unsearched < params_.s_min) return;
+  if (!force && unsearched < search_trigger_) return;
+
+  // Windows may straddle the previous search boundary by up to s_max
+  // samples and reach a further td_max into already-searched data on Y, so
+  // the pass rescans that margin.
+  const int64_t margin = params_.s_max + params_.td_max;
+  const int64_t from = std::max<int64_t>(offset_, searched_until_ - margin);
+
+  // Drop everything before `from`: no future window can touch it.
+  const int64_t drop = from - offset_;
+  if (drop > 0) {
+    buffer_x_.erase(buffer_x_.begin(), buffer_x_.begin() + drop);
+    buffer_y_.erase(buffer_y_.begin(), buffer_y_.begin() + drop);
+    offset_ = from;
+  }
+
+  if (static_cast<int64_t>(buffer_x_.size()) < params_.s_min) return;
+
+  // The chunk may be shorter than the configured window ceiling; clamp the
+  // per-pass params so Validate holds on small tails.
+  TycosParams pass = params_;
+  const int64_t n = static_cast<int64_t>(buffer_x_.size());
+  pass.s_max = std::min(pass.s_max, n);
+  pass.td_max = std::min(pass.td_max, n - 1);
+  if (pass.s_min > pass.s_max) return;
+
+  const SeriesPair pair{TimeSeries(buffer_x_), TimeSeries(buffer_y_)};
+  Tycos search(pair, pass, variant_,
+               seed_ + static_cast<uint64_t>(search_passes_));
+  const WindowSet found = search.Run();
+  ++search_passes_;
+
+  for (Window w : found.windows()) {
+    // Back to global stream coordinates.
+    w.start += offset_;
+    w.end += offset_;
+    // Windows that end strictly inside the previously searched region were
+    // discoverable by an earlier pass; skipping them avoids flooding the
+    // result set with near-duplicates from the rescan margin.
+    if (w.end < searched_until_) continue;
+    results_.Insert(w);
+  }
+  searched_until_ = samples_seen_;
+}
+
+}  // namespace tycos

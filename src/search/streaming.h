@@ -1,0 +1,68 @@
+// StreamingTycos: online correlation search over an unbounded pair stream.
+//
+// The paper positions TYCOS as "memory efficient and suitable for big
+// datasets" thanks to its bottom-up scan; this driver makes that concrete:
+// samples are appended in chunks, each search pass covers only the
+// not-yet-searched region plus a rescan margin of s_max + td_max samples
+// (the farthest any window can straddle a chunk boundary), and older
+// samples are discarded. Memory is O(s_max + td_max + chunk), independent
+// of the stream length.
+
+#ifndef TYCOS_SEARCH_STREAMING_H_
+#define TYCOS_SEARCH_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time_series.h"
+#include "core/window_set.h"
+#include "search/params.h"
+#include "search/tycos.h"
+
+namespace tycos {
+
+class StreamingTycos {
+ public:
+  // A search pass runs whenever at least `search_trigger` unsearched
+  // samples have accumulated (0 = auto: 2 × s_max). Flush() forces a final
+  // pass over whatever remains.
+  StreamingTycos(const TycosParams& params, TycosVariant variant,
+                 uint64_t seed = 42, int64_t search_trigger = 0);
+
+  // Appends paired samples (equal lengths) and searches when triggered.
+  void Append(const std::vector<double>& xs, const std::vector<double>& ys);
+
+  // Searches the remaining unsearched tail (call at end of stream).
+  void Flush();
+
+  // Windows found so far, in *global* stream coordinates.
+  const WindowSet& results() const { return results_; }
+
+  int64_t samples_seen() const { return samples_seen_; }
+  int64_t retained_samples() const {
+    return static_cast<int64_t>(buffer_x_.size());
+  }
+  int64_t search_passes() const { return search_passes_; }
+
+ private:
+  void MaybeSearch(bool force);
+
+  TycosParams params_;
+  TycosVariant variant_;
+  uint64_t seed_;
+  int64_t search_trigger_;
+
+  // Retained tail of the stream; buffer index 0 is global index offset_.
+  std::vector<double> buffer_x_;
+  std::vector<double> buffer_y_;
+  int64_t offset_ = 0;
+  int64_t samples_seen_ = 0;
+  int64_t searched_until_ = 0;  // global index; everything before is done
+  int64_t search_passes_ = 0;
+
+  WindowSet results_;
+};
+
+}  // namespace tycos
+
+#endif  // TYCOS_SEARCH_STREAMING_H_

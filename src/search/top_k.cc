@@ -1,0 +1,35 @@
+#include "search/top_k.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tycos {
+
+TopKFilter::TopKFilter(int k) : k_(k) { TYCOS_CHECK_GE(k_, 1); }
+
+bool TopKFilter::Offer(const Window& w) {
+  // Replace a nested incumbent instead of keeping both scales of the same
+  // correlation (the result set is non-nesting).
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const Window& in = windows_[i];
+    if (Contains(in, w) || Contains(w, in)) {
+      if (in.mi >= w.mi) return false;
+      windows_.erase(windows_.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  if (full() && w.mi <= CurrentSigma()) return false;
+  windows_.push_back(w);
+  std::sort(windows_.begin(), windows_.end(),
+            [](const Window& a, const Window& b) { return a.mi > b.mi; });
+  if (static_cast<int>(windows_.size()) > k_) windows_.pop_back();
+  return true;
+}
+
+double TopKFilter::CurrentSigma() const {
+  if (!full()) return 0.0;
+  return windows_.back().mi;
+}
+
+}  // namespace tycos

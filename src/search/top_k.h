@@ -1,0 +1,37 @@
+// Top-K filtering (Section 6.3.2): maintains the K highest-scoring windows
+// seen so far and exposes the dynamic correlation threshold σ (the K-th best
+// score once the list fills).
+
+#ifndef TYCOS_SEARCH_TOP_K_H_
+#define TYCOS_SEARCH_TOP_K_H_
+
+#include <vector>
+
+#include "core/window.h"
+
+namespace tycos {
+
+class TopKFilter {
+ public:
+  explicit TopKFilter(int k);
+
+  // Offers a scored window. Nested duplicates of an incumbent (Contains in
+  // either direction) replace it only on a higher score. Returns true when
+  // the window enters the list.
+  bool Offer(const Window& w);
+
+  // The dynamic σ: 0 until the list is full, then the minimum score held.
+  double CurrentSigma() const;
+
+  bool full() const { return static_cast<int>(windows_.size()) == k_; }
+  const std::vector<Window>& windows() const { return windows_; }
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  std::vector<Window> windows_;  // kept sorted by descending score
+};
+
+}  // namespace tycos
+
+#endif  // TYCOS_SEARCH_TOP_K_H_

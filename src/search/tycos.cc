@@ -1,0 +1,189 @@
+#include "search/tycos.h"
+
+#include <algorithm>
+
+#include "search/top_k.h"
+
+namespace tycos {
+
+const char* TycosVariantName(TycosVariant v) {
+  switch (v) {
+    case TycosVariant::kL:
+      return "TYCOS_L";
+    case TycosVariant::kLN:
+      return "TYCOS_LN";
+    case TycosVariant::kLM:
+      return "TYCOS_LM";
+    case TycosVariant::kLMN:
+      return "TYCOS_LMN";
+  }
+  return "TYCOS_?";
+}
+
+namespace {
+
+SeriesPair PreparePair(const SeriesPair& pair, const TycosParams& params) {
+  if (params.tie_jitter <= 0.0) return pair;
+  std::vector<double> xs = pair.x().values();
+  std::vector<double> ys = pair.y().values();
+  internal::ApplyTieJitter(&xs, params.tie_jitter, /*salt=*/1);
+  internal::ApplyTieJitter(&ys, params.tie_jitter, /*salt=*/2);
+  return SeriesPair(TimeSeries(std::move(xs), pair.x().name()),
+                    TimeSeries(std::move(ys), pair.y().name()));
+}
+
+}  // namespace
+
+Tycos::Tycos(const SeriesPair& pair, const TycosParams& params,
+             TycosVariant variant, uint64_t seed)
+    : pair_(PreparePair(pair, params)),
+      params_(params),
+      variant_(variant),
+      rng_(seed) {
+  const Status st = params_.Validate(pair_.size());
+  if (!st.ok()) {
+    std::fprintf(stderr, "Tycos: invalid params: %s\n",
+                 st.ToString().c_str());
+  }
+  TYCOS_CHECK(st.ok());
+
+  std::unique_ptr<WindowEvaluator> core;
+  // Temporal (Theiler) exclusion is only implemented in the batch
+  // estimator, so it overrides the M variants' incremental evaluator.
+  if (use_incremental() && params_.theiler_window == 0) {
+    core = std::make_unique<IncrementalEvaluator>(pair_, params_);
+  } else {
+    core = std::make_unique<BatchEvaluator>(pair_, params_);
+  }
+  if (params_.cache_evaluations) {
+    auto caching = std::make_unique<CachingEvaluator>(std::move(core));
+    cache_ = caching.get();
+    evaluator_ = std::move(caching);
+  } else {
+    evaluator_ = std::move(core);
+  }
+}
+
+std::vector<Window> Tycos::GenerateNeighbors(const Window& w, int level,
+                                             const DirectionMask& mask) const {
+  const int64_t step = params_.delta * level;
+  const int64_t offsets[3] = {-step, 0, step};
+  std::vector<Window> out;
+  out.reserve(26);
+  for (int64_t ds : offsets) {
+    for (int64_t de : offsets) {
+      for (int64_t dt : offsets) {
+        if (ds == 0 && de == 0 && dt == 0) continue;
+        // Noise masks: a blocked end direction forbids growing t_e forward;
+        // a blocked start direction forbids growing t_s backward.
+        if (mask.extend_end_blocked && de > 0) continue;
+        if (mask.extend_start_blocked && ds < 0) continue;
+        Window nb(w.start + ds, w.end + de, w.delay + dt);
+        if (!IsFeasible(nb, pair_.size(), params_.s_min, params_.s_max,
+                        params_.td_max)) {
+          continue;
+        }
+        out.push_back(nb);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Window& a, const Window& b) {
+    if (a.delay != b.delay) return a.delay < b.delay;
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  return out;
+}
+
+Window Tycos::Climb(const Window& w0) {
+  Window w = w0;
+  Window best_seen = w0;
+  LahcHistory history(params_.history_length, w0.mi);
+  DirectionMask mask;
+  int idle = 0;
+  int level = 1;
+
+  while (idle < params_.max_idle) {
+    if (use_noise()) {
+      stats_.noise_blocked += DetectSubsequentNoise(pair_, *evaluator_,
+                                                    params_, w, w.mi, &mask);
+    }
+    std::vector<Window> neighbors = GenerateNeighbors(w, level, mask);
+    if (neighbors.empty()) {
+      ++idle;
+      level = std::min(level + 1, params_.max_neighborhood_level);
+      continue;
+    }
+    Window best_nb;
+    bool have_best = false;
+    for (Window& nb : neighbors) {
+      nb.mi = evaluator_->Score(nb);
+      if (!have_best || nb.mi > best_nb.mi) {
+        best_nb = nb;
+        have_best = true;
+      }
+    }
+    const size_t slot = history.SampleSlot(rng_);
+    const double history_value = history.ValueAt(slot);
+    if (best_nb.mi > history_value || best_nb.mi > w.mi) {
+      // Policy 1: accept (possibly sideways/downhill through the history).
+      w = best_nb;
+      idle = 0;
+      level = 1;
+      mask.Reset();  // the local context moved; re-derive noise directions
+      ++stats_.accepted_moves;
+      if (w.mi > best_seen.mi) best_seen = w;
+    } else {
+      // Policy 2: no improvement in this neighbourhood; widen it.
+      ++idle;
+      level = std::min(level + 1, params_.max_neighborhood_level);
+      ++stats_.rejected_moves;
+    }
+    if (w.mi > history.ValueAt(slot)) history.Update(slot, w.mi);
+  }
+  return best_seen;
+}
+
+WindowSet Tycos::Run() {
+  WindowSet results;
+  TopKFilter top_k(params_.top_k > 0 ? params_.top_k : 1);
+  const bool dynamic_sigma = params_.top_k > 0;
+  const int64_t n = pair_.size();
+
+  int64_t cursor = 0;
+  while (cursor + params_.s_min <= n) {
+    Window w0;
+    if (use_noise()) {
+      std::optional<Window> init = InitialNoisePruning(
+          pair_, *evaluator_, params_, cursor, /*scan_delays=*/true);
+      if (!init.has_value()) break;  // nothing above ε remains
+      w0 = *init;
+    } else {
+      w0 = Window(cursor, cursor + params_.s_min - 1, 0);
+      w0.mi = evaluator_->Score(w0);
+    }
+    ++stats_.climbs;
+    const Window w = Climb(w0);
+
+    bool accepted = false;
+    if (dynamic_sigma) {
+      accepted = top_k.Offer(w);
+    } else if (w.mi >= params_.sigma) {
+      accepted = results.Insert(w);
+    }
+    // Restart on the remaining data (Algorithm 1 line 21). The cursor always
+    // advances by at least s_min so the scan terminates.
+    const int64_t resume_after = accepted ? std::max(w.end, w0.end) : w0.end;
+    cursor = std::max(cursor + params_.s_min, resume_after + 1);
+  }
+
+  if (dynamic_sigma) {
+    for (const Window& w : top_k.windows()) results.Insert(w);
+  }
+  stats_.windows_found = static_cast<int64_t>(results.size());
+  stats_.mi_evaluations = evaluator_->evaluations();
+  if (cache_ != nullptr) stats_.cache_hits = cache_->cache_hits();
+  return results;
+}
+
+}  // namespace tycos

@@ -1,0 +1,92 @@
+// TYCOS: the LAHC-based multi-scale time-delay correlation search
+// (Algorithms 1 and 2). The four paper variants are selected by TycosVariant:
+//
+//   kL    — plain LAHC search (Algorithm 1)
+//   kLN   — + noise theory (initial noise pruning & subsequent detection)
+//   kLM   — + incremental MI computation (Section 7)
+//   kLMN  — both optimizations (the flagship configuration)
+
+#ifndef TYCOS_SEARCH_TYCOS_H_
+#define TYCOS_SEARCH_TYCOS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/time_series.h"
+#include "core/window_set.h"
+#include "search/evaluator.h"
+#include "search/lahc.h"
+#include "search/noise.h"
+#include "search/params.h"
+
+namespace tycos {
+
+enum class TycosVariant { kL, kLN, kLM, kLMN };
+
+const char* TycosVariantName(TycosVariant v);
+
+struct TycosStats {
+  int64_t climbs = 0;            // local searches (restarts included)
+  int64_t accepted_moves = 0;
+  int64_t rejected_moves = 0;
+  int64_t noise_blocked = 0;     // directions masked by the noise test
+  int64_t mi_evaluations = 0;    // estimator invocations (cache misses)
+  int64_t cache_hits = 0;
+  int64_t windows_found = 0;
+};
+
+class Tycos {
+ public:
+  // `pair` is copied (and jittered when params.tie_jitter > 0), so the
+  // engine is self-contained. Params must pass Validate(pair.size()) — this
+  // is CHECKed.
+  Tycos(const SeriesPair& pair, const TycosParams& params,
+        TycosVariant variant, uint64_t seed = 42);
+
+  Tycos(const Tycos&) = delete;
+  Tycos& operator=(const Tycos&) = delete;
+
+  // Runs the search over the whole pair and returns the result set S of
+  // non-nested windows scoring >= σ (or the top-K list when params.top_k is
+  // set). Run() can be called repeatedly; each call restarts from scratch
+  // with the same seed-derived RNG state continuing.
+  WindowSet Run();
+
+  const TycosStats& stats() const { return stats_; }
+  const TycosParams& params() const { return params_; }
+  TycosVariant variant() const { return variant_; }
+
+ private:
+  // One LAHC climb from w0; returns the best window seen.
+  Window Climb(const Window& w0);
+
+  // Feasible neighbours of w on the level-ℓ shell (offsets in
+  // {-ℓδ, 0, +ℓδ} per axis, excluding the identity), honoring the noise
+  // direction mask. Sorted by (delay, start, end) so the incremental
+  // estimator sees maximal overlap between consecutive evaluations.
+  std::vector<Window> GenerateNeighbors(const Window& w, int level,
+                                        const DirectionMask& mask) const;
+
+  bool use_noise() const {
+    return variant_ == TycosVariant::kLN || variant_ == TycosVariant::kLMN;
+  }
+  bool use_incremental() const {
+    return variant_ == TycosVariant::kLM || variant_ == TycosVariant::kLMN;
+  }
+
+  SeriesPair pair_;  // local (possibly jittered) copy
+  TycosParams params_;
+  TycosVariant variant_;
+  Rng rng_;
+
+  std::unique_ptr<WindowEvaluator> evaluator_;
+  CachingEvaluator* cache_ = nullptr;  // view into evaluator_ when caching
+
+  TycosStats stats_;
+};
+
+}  // namespace tycos
+
+#endif  // TYCOS_SEARCH_TYCOS_H_

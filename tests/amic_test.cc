@@ -1,0 +1,94 @@
+#include "baselines/amic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/window_similarity.h"
+#include "datagen/relations.h"
+
+namespace tycos {
+namespace {
+
+using datagen::ComposeDataset;
+using datagen::RelationType;
+using datagen::SegmentSpec;
+using datagen::SyntheticDataset;
+
+AmicOptions SmallOptions() {
+  AmicOptions o;
+  o.sigma = 0.5;
+  o.s_min = 24;
+  return o;
+}
+
+TEST(AmicTest, FindsAlignedRelation) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 200, 0}}, /*gap=*/200, /*seed=*/1);
+  const AmicResult r = AmicSearch(ds.pair, SmallOptions());
+  ASSERT_FALSE(r.windows.empty());
+  bool overlaps = false;
+  for (const Window& w : r.windows.windows()) {
+    overlaps |= Overlaps(w, ds.planted[0].AsWindow());
+  }
+  EXPECT_TRUE(overlaps);
+}
+
+TEST(AmicTest, MissesDelayedRelation) {
+  // The same relation shifted by 120 samples: AMIC has no delay axis, so at
+  // τ = 0 the pairs are independent and nothing should clear σ.
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 200, 120}}, /*gap=*/200, /*seed=*/2);
+  const AmicResult r = AmicSearch(ds.pair, SmallOptions());
+  for (const Window& w : r.windows.windows()) {
+    EXPECT_EQ(w.delay, 0);
+  }
+  // Either nothing found, or only spurious sub-σ-strength noise windows —
+  // none should cover the planted X region strongly.
+  for (const Window& w : r.windows.windows()) {
+    EXPECT_LT(IndexJaccard(w, ds.planted[0].AsWindow()), 0.5)
+        << w.ToString();
+  }
+}
+
+TEST(AmicTest, PureNoiseYieldsNothing) {
+  const SyntheticDataset ds =
+      ComposeDataset({SegmentSpec{RelationType::kIndependent, 400, 0}},
+                     /*gap=*/100, /*seed=*/3);
+  const AmicResult r = AmicSearch(ds.pair, SmallOptions());
+  EXPECT_TRUE(r.windows.empty());
+}
+
+TEST(AmicTest, FindsMultipleScales) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 300, 0},
+       SegmentSpec{RelationType::kQuadratic, 150, 0}},
+      /*gap=*/250, /*seed=*/4);
+  const AmicResult r = AmicSearch(ds.pair, SmallOptions());
+  int hits = 0;
+  for (const auto& planted : ds.planted) {
+    for (const Window& w : r.windows.windows()) {
+      if (IndexJaccard(w, planted.AsWindow()) > 0.2) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(AmicTest, ShortSeriesReturnsEmpty) {
+  const SeriesPair pair(TimeSeries({1, 2, 3}), TimeSeries({1, 2, 3}));
+  const AmicResult r = AmicSearch(pair, SmallOptions());
+  EXPECT_TRUE(r.windows.empty());
+  EXPECT_EQ(r.segments_evaluated, 0);
+}
+
+TEST(AmicTest, EvaluationCountIsBounded) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 200, 0}}, /*gap=*/200, /*seed=*/5);
+  const AmicResult r = AmicSearch(ds.pair, SmallOptions());
+  // Deduped top-down recursion stays well under n segments here.
+  EXPECT_LT(r.segments_evaluated, ds.pair.size());
+}
+
+}  // namespace
+}  // namespace tycos

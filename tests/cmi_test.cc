@@ -1,0 +1,169 @@
+#include "mi/cmi.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mi/ksg.h"
+
+namespace tycos {
+namespace {
+
+TEST(ConditionalMiTest, UnconditionalReducesToKsg1) {
+  // With no conditioning columns the estimator is plain KSG-1 MI; it should
+  // track the analytic Gaussian MI like the KSG-2 estimator does.
+  Rng rng(1);
+  const double rho = 0.8;
+  std::vector<double> xs(2000), ys(2000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double a = rng.Normal(), b = rng.Normal();
+    xs[i] = a;
+    ys[i] = rho * a + std::sqrt(1 - rho * rho) * b;
+  }
+  const double analytic = -0.5 * std::log(1 - rho * rho);
+  EXPECT_NEAR(ConditionalMi(xs, ys, {}), analytic, 0.1);
+  EXPECT_NEAR(ConditionalMi(xs, ys, {}), KsgMi(xs, ys), 0.1);
+}
+
+TEST(ConditionalMiTest, IrrelevantConditionChangesLittle) {
+  Rng rng(2);
+  std::vector<double> xs(1200), ys(1200), zs(1200);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Normal();
+    ys[i] = 0.9 * xs[i] + 0.4 * rng.Normal();
+    zs[i] = rng.Normal();  // independent of both
+  }
+  const double plain = ConditionalMi(xs, ys, {});
+  const double conditioned = ConditionalMi(xs, ys, {zs});
+  EXPECT_NEAR(plain, conditioned, 0.15);
+  EXPECT_GT(conditioned, 0.5);
+}
+
+TEST(ConditionalMiTest, CommonDriverIsExplainedAway) {
+  // X and Y are both noisy copies of Z: strongly dependent marginally, but
+  // conditionally (given Z) nearly independent.
+  Rng rng(3);
+  std::vector<double> xs(1200), ys(1200), zs(1200);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    zs[i] = rng.Normal();
+    xs[i] = zs[i] + 0.3 * rng.Normal();
+    ys[i] = zs[i] + 0.3 * rng.Normal();
+  }
+  const double marginal = ConditionalMi(xs, ys, {});
+  const double conditional = ConditionalMi(xs, ys, {zs});
+  EXPECT_GT(marginal, 0.8);
+  EXPECT_LT(conditional, 0.15);
+}
+
+TEST(ConditionalMiTest, GaussianPartialCorrelation) {
+  // X = Z + a·N1, Y = Z + 0.5·X + b·N2: the partial correlation given Z is
+  // analytic; CMI must match −½ln(1 − ρ²_partial) within estimator error.
+  Rng rng(4);
+  const size_t n = 1500;
+  std::vector<double> xs(n), ys(n), zs(n);
+  for (size_t i = 0; i < n; ++i) {
+    zs[i] = rng.Normal();
+    xs[i] = zs[i] + 0.8 * rng.Normal();
+    ys[i] = zs[i] + 0.5 * xs[i] + 0.8 * rng.Normal();
+  }
+  // Given Z: X|Z = 0.8 N1, Y|Z = 0.5 X|Z + 0.8 N2 →
+  // ρ_partial = 0.5·0.8 / sqrt(0.8² · (0.25·0.64 + 0.64)) = 0.4472.
+  const double rho_partial =
+      0.5 * 0.8 / std::sqrt(0.25 * 0.64 + 0.64);
+  const double analytic = -0.5 * std::log(1 - rho_partial * rho_partial);
+  EXPECT_NEAR(ConditionalMi(xs, ys, {zs}), analytic, 0.05);
+}
+
+TEST(ConditionalMiTest, MultipleConditioningColumns) {
+  Rng rng(5);
+  std::vector<double> xs(800), ys(800), z1(800), z2(800);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    z1[i] = rng.Normal();
+    z2[i] = rng.Normal();
+    xs[i] = z1[i] - z2[i] + 0.2 * rng.Normal();
+    ys[i] = z1[i] + z2[i] + 0.2 * rng.Normal();
+  }
+  const double marginal = ConditionalMi(xs, ys, {});
+  const double given_both = ConditionalMi(xs, ys, {z1, z2});
+  // x and y share z1 (positively) and z2 (negatively); conditioning on both
+  // removes nearly all dependence.
+  EXPECT_LT(given_both, std::max(0.15, marginal));
+  EXPECT_LT(given_both, 0.15);
+}
+
+TEST(ConditionalMiTest, TinySampleReturnsZero) {
+  EXPECT_DOUBLE_EQ(ConditionalMi({1, 2, 3}, {1, 2, 3}, {}), 0.0);
+}
+
+TEST(TransferEntropyTest, DetectsCouplingDirection) {
+  // y_t = 0.5 y_{t-1} + 0.8 x_{t-1} + noise; x autonomous AR(1).
+  Rng rng(6);
+  const size_t n = 1500;
+  std::vector<double> x(n), y(n);
+  x[0] = rng.Normal();
+  y[0] = rng.Normal();
+  for (size_t t = 1; t < n; ++t) {
+    x[t] = 0.6 * x[t - 1] + rng.Normal();
+    y[t] = 0.5 * y[t - 1] + 0.8 * x[t - 1] + 0.5 * rng.Normal();
+  }
+  const CausalDirection d = EstimateDirection(x, y);
+  EXPECT_GT(d.te_forward, 0.2);
+  EXPECT_GT(d.margin(), 0.1);
+}
+
+TEST(TransferEntropyTest, IndependentSeriesCarryNoTransfer) {
+  Rng rng(7);
+  std::vector<double> x(1000), y(1000);
+  for (size_t t = 0; t < x.size(); ++t) {
+    x[t] = rng.Normal();
+    y[t] = rng.Normal();
+  }
+  EXPECT_NEAR(TransferEntropy(x, y), 0.0, 0.05);
+  EXPECT_NEAR(TransferEntropy(y, x), 0.0, 0.05);
+}
+
+TEST(TransferEntropyTest, LagMustMatchTheCoupling) {
+  // Coupling at lag 3: TE at lag 3 beats TE at lag 1.
+  Rng rng(8);
+  const size_t n = 1500;
+  std::vector<double> x(n), y(n);
+  for (size_t t = 0; t < 3; ++t) {
+    x[t] = rng.Normal();
+    y[t] = rng.Normal();
+  }
+  for (size_t t = 3; t < n; ++t) {
+    x[t] = rng.Normal();
+    y[t] = 0.9 * x[t - 3] + 0.4 * rng.Normal();
+  }
+  TransferEntropyOptions at1;
+  at1.lag = 1;
+  TransferEntropyOptions at3;
+  at3.lag = 3;
+  EXPECT_GT(TransferEntropy(x, y, at3), TransferEntropy(x, y, at1) + 0.3);
+}
+
+TEST(TransferEntropyTest, LongerHistoryAbsorbsSelfPrediction) {
+  // y is a pure AR(2): with history 2 the transfer from an independent x
+  // stays ~0 and y's self-predictability does not leak into TE.
+  Rng rng(9);
+  const size_t n = 1200;
+  std::vector<double> x(n), y(n);
+  y[0] = rng.Normal();
+  y[1] = rng.Normal();
+  for (size_t t = 0; t < n; ++t) x[t] = rng.Normal();
+  for (size_t t = 2; t < n; ++t) {
+    y[t] = 0.5 * y[t - 1] + 0.3 * y[t - 2] + 0.5 * rng.Normal();
+  }
+  TransferEntropyOptions opt;
+  opt.history = 2;
+  EXPECT_NEAR(TransferEntropy(x, y, opt), 0.0, 0.06);
+}
+
+TEST(TransferEntropyTest, ShortSeriesReturnsZero) {
+  EXPECT_DOUBLE_EQ(TransferEntropy({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+}  // namespace
+}  // namespace tycos

@@ -1,0 +1,121 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tycos {
+namespace {
+
+TEST(ParseCsvTest, WithHeader) {
+  const auto result = ParseCsv("a,b\n1,2\n3,4\n", /*has_header=*/true);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CsvTable& t = *result;
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.column_names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_DOUBLE_EQ(t.columns[0][1], 3.0);
+  EXPECT_DOUBLE_EQ(t.columns[1][0], 2.0);
+}
+
+TEST(ParseCsvTest, WithoutHeader) {
+  const auto result = ParseCsv("1.5,2.5\n-3,4e2\n", /*has_header=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->column_names.empty());
+  EXPECT_EQ(result->num_rows(), 2);
+  EXPECT_DOUBLE_EQ(result->columns[1][1], 400.0);
+}
+
+TEST(ParseCsvTest, SkipsBlankLinesAndCrLf) {
+  const auto result = ParseCsv("a,b\r\n1,2\r\n\r\n3,4\r\n", true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2);
+}
+
+TEST(ParseCsvTest, RejectsRaggedRows) {
+  const auto result = ParseCsv("a,b\n1,2\n3\n", true);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseCsvTest, RejectsNonNumeric) {
+  const auto result = ParseCsv("a\nhello\n", true);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParseCsvTest, EmptyContentYieldsEmptyTable) {
+  const auto result = ParseCsv("", false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0);
+  EXPECT_EQ(result->num_columns(), 0);
+}
+
+TEST(ColumnAsSeriesTest, ByIndexAndName) {
+  const auto table = ParseCsv("wind,power\n1,10\n2,20\n", true);
+  ASSERT_TRUE(table.ok());
+  const auto by_index = ColumnAsSeries(*table, 1);
+  ASSERT_TRUE(by_index.ok());
+  EXPECT_EQ(by_index->name(), "power");
+  EXPECT_DOUBLE_EQ((*by_index)[1], 20.0);
+
+  const auto by_name = ColumnAsSeries(*table, "wind");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_DOUBLE_EQ((*by_name)[0], 1.0);
+}
+
+TEST(ColumnAsSeriesTest, Errors) {
+  const auto table = ParseCsv("a\n1\n", true);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(ColumnAsSeries(*table, 5).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ColumnAsSeries(*table, "missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ReadCsvTest, MissingFileIsIoError) {
+  const auto result = ReadCsv("/nonexistent/path.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(WriteCsvTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tycos_csv_rt.csv";
+  std::vector<TimeSeries> series = {TimeSeries({1.0, 2.5, -3.0}, "x"),
+                                    TimeSeries({0.5, 0.25, 0.125}, "y")};
+  ASSERT_TRUE(WriteCsv(path, series).ok());
+  const auto table = ReadCsv(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column_names, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(table->num_rows(), 3);
+  EXPECT_DOUBLE_EQ(table->columns[0][2], -3.0);
+  EXPECT_DOUBLE_EQ(table->columns[1][2], 0.125);
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, RejectsLengthMismatch) {
+  const std::string path = ::testing::TempDir() + "/tycos_csv_bad.csv";
+  std::vector<TimeSeries> series = {TimeSeries({1.0}), TimeSeries({1.0, 2.0})};
+  EXPECT_FALSE(WriteCsv(path, series).ok());
+}
+
+TEST(WriteCsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(WriteCsv(::testing::TempDir() + "/x.csv", {}).ok());
+}
+
+TEST(WriteWindowsCsvTest, RoundTripThroughParse) {
+  const std::string path = ::testing::TempDir() + "/tycos_windows.csv";
+  std::vector<Window> ws = {Window(0, 10, -2, 0.75), Window(20, 40, 3, 0.5)};
+  ASSERT_TRUE(WriteWindowsCsv(path, ws).ok());
+  const auto table = ReadCsv(path);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->column_names,
+            (std::vector<std::string>{"start", "end", "delay", "mi"}));
+  EXPECT_DOUBLE_EQ(table->columns[2][0], -2.0);
+  EXPECT_DOUBLE_EQ(table->columns[3][0], 0.75);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tycos

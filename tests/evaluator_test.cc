@@ -1,0 +1,129 @@
+#include "search/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/relations.h"
+
+namespace tycos {
+namespace {
+
+SeriesPair MakePair(int64_t n, uint64_t seed, double coupling) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.Normal();
+    y[static_cast<size_t>(i)] =
+        coupling * x[static_cast<size_t>(i)] + rng.Normal();
+  }
+  return SeriesPair(TimeSeries(std::move(x)), TimeSeries(std::move(y)));
+}
+
+TycosParams Params() {
+  TycosParams p;
+  p.s_min = 16;
+  p.s_max = 400;
+  p.td_max = 8;
+  return p;
+}
+
+TEST(BatchEvaluatorTest, ScoreIsInUnitInterval) {
+  const SeriesPair pair = MakePair(500, 1, 0.8);
+  BatchEvaluator eval(pair, Params());
+  for (int64_t s = 0; s < 300; s += 50) {
+    const double score = eval.Score(Window(s, s + 120, 2));
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+  EXPECT_EQ(eval.evaluations(), 6);
+}
+
+TEST(BatchEvaluatorTest, StrongerCouplingScoresHigher) {
+  const SeriesPair weak = MakePair(600, 2, 0.2);
+  const SeriesPair strong = MakePair(600, 2, 2.0);
+  BatchEvaluator weak_eval(weak, Params());
+  BatchEvaluator strong_eval(strong, Params());
+  const Window w(100, 400, 0);
+  EXPECT_GT(strong_eval.Score(w), weak_eval.Score(w) + 0.2);
+}
+
+TEST(IncrementalEvaluatorTest, MatchesBatchAboveAndBelowThreshold) {
+  const SeriesPair pair = MakePair(800, 3, 0.7);
+  const TycosParams params = Params();
+  BatchEvaluator batch(pair, params);
+  IncrementalEvaluator inc(pair, params, /*small_window_threshold=*/96);
+  // Below the threshold (stateless path) and above it (incremental path).
+  for (const Window w : {Window(10, 60, 1), Window(100, 350, -2),
+                         Window(120, 380, -2), Window(40, 80, 0),
+                         Window(130, 390, -2)}) {
+    EXPECT_NEAR(inc.Score(w), batch.Score(w), 1e-9) << w.ToString();
+  }
+}
+
+TEST(IncrementalEvaluatorTest, SmallWindowsDoNotDisturbLargeState) {
+  const SeriesPair pair = MakePair(800, 4, 0.5);
+  const TycosParams params = Params();
+  IncrementalEvaluator inc(pair, params, /*small_window_threshold=*/96);
+  inc.Score(Window(100, 400, 0));
+  const int64_t rebuilds_before = inc.incremental_stats().full_rebuilds;
+  inc.Score(Window(10, 40, 0));   // stateless
+  inc.Score(Window(50, 80, 3));   // stateless
+  EXPECT_EQ(inc.incremental_stats().full_rebuilds, rebuilds_before);
+  // Returning to an overlapping large window is an incremental move.
+  inc.Score(Window(110, 410, 0));
+  EXPECT_EQ(inc.incremental_stats().full_rebuilds, rebuilds_before);
+  EXPECT_GT(inc.incremental_stats().incremental_moves, 0);
+}
+
+TEST(CachingEvaluatorTest, SecondLookupHitsCache) {
+  const SeriesPair pair = MakePair(400, 5, 0.6);
+  auto inner = std::make_unique<BatchEvaluator>(pair, Params());
+  CachingEvaluator cache(std::move(inner));
+  const Window w(50, 200, 1);
+  const double first = cache.Score(w);
+  const double second = cache.Score(w);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_EQ(cache.cache_hits(), 1);
+  EXPECT_EQ(cache.evaluations(), 1);  // inner evaluator ran once
+}
+
+TEST(CachingEvaluatorTest, DistinctWindowsAreDistinctEntries) {
+  const SeriesPair pair = MakePair(400, 6, 0.6);
+  auto inner = std::make_unique<BatchEvaluator>(pair, Params());
+  CachingEvaluator cache(std::move(inner));
+  cache.Score(Window(50, 200, 1));
+  cache.Score(Window(50, 200, -1));  // delay differs
+  cache.Score(Window(50, 201, 1));   // end differs
+  cache.Score(Window(49, 200, 1));   // start differs
+  EXPECT_EQ(cache.cache_hits(), 0);
+  EXPECT_EQ(cache.evaluations(), 4);
+}
+
+TEST(CachingEvaluatorTest, EvictionKeepsAnswersCorrect) {
+  const SeriesPair pair = MakePair(300, 7, 0.9);
+  auto inner = std::make_unique<BatchEvaluator>(pair, Params());
+  CachingEvaluator cache(std::move(inner), /*max_entries=*/4);
+  const Window w(30, 120, 0);
+  const double expected = cache.Score(w);
+  // Overflow the cache several times.
+  for (int64_t s = 0; s < 40; ++s) cache.Score(Window(s, s + 90, 0));
+  EXPECT_DOUBLE_EQ(cache.Score(w), expected);
+}
+
+TEST(MakeEvaluatorTest, HonorsCachingFlag) {
+  const SeriesPair pair = MakePair(300, 8, 0.5);
+  TycosParams with = Params();
+  with.cache_evaluations = true;
+  TycosParams without = Params();
+  without.cache_evaluations = false;
+  auto cached = MakeEvaluator(pair, with, /*incremental=*/false);
+  auto plain = MakeEvaluator(pair, without, /*incremental=*/true);
+  const Window w(20, 150, 2);
+  // Same score either way; both calls on the cached one cost one evaluation.
+  EXPECT_NEAR(cached->Score(w), plain->Score(w), 1e-9);
+  cached->Score(w);
+  EXPECT_EQ(cached->evaluations(), 1);
+}
+
+}  // namespace
+}  // namespace tycos

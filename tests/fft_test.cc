@@ -1,0 +1,199 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fft/sliding_dot.h"
+
+namespace tycos {
+namespace {
+
+std::vector<Complex> NaiveDft(const std::vector<Complex>& in, bool inverse) {
+  const size_t n = in.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 2.0 : -2.0;
+  for (size_t k = 0; k < n; ++k) {
+    Complex acc(0, 0);
+    for (size_t j = 0; j < n; ++j) {
+      const double angle = sign * std::numbers::pi *
+                           static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+std::vector<Complex> RandomSignal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& c : v) c = Complex(rng.Normal(), rng.Normal());
+  return v;
+}
+
+TEST(FftTest, SizeOneIsIdentity) {
+  std::vector<Complex> v = {Complex(3, -1)};
+  Fft(&v, false);
+  EXPECT_DOUBLE_EQ(v[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(v[0].imag(), -1.0);
+}
+
+TEST(FftTest, MatchesNaiveDftPowerOfTwo) {
+  for (size_t n : {2u, 4u, 8u, 64u, 256u}) {
+    std::vector<Complex> v = RandomSignal(n, n);
+    std::vector<Complex> expected = NaiveDft(v, false);
+    Fft(&v, false);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(v[i].real(), expected[i].real(), 1e-8) << "n=" << n;
+      ASSERT_NEAR(v[i].imag(), expected[i].imag(), 1e-8) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftTest, RoundTripRecoversInput) {
+  std::vector<Complex> v = RandomSignal(128, 5);
+  const std::vector<Complex> original = v;
+  Fft(&v, false);
+  Fft(&v, true);
+  for (size_t i = 0; i < v.size(); ++i) {
+    ASSERT_NEAR(v[i].real(), original[i].real(), 1e-10);
+    ASSERT_NEAR(v[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+class BluesteinTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BluesteinTest, MatchesNaiveDftArbitrarySize) {
+  const size_t n = GetParam();
+  const std::vector<Complex> v = RandomSignal(n, n * 7 + 1);
+  const std::vector<Complex> expected = NaiveDft(v, false);
+  const std::vector<Complex> got = FftAnySize(v, false);
+  ASSERT_EQ(got.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(got[i].real(), expected[i].real(), 1e-7) << "n=" << n;
+    ASSERT_NEAR(got[i].imag(), expected[i].imag(), 1e-7) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BluesteinTest,
+                         ::testing::Values(3, 5, 6, 7, 12, 37, 100, 241, 360));
+
+TEST(BluesteinTest, InverseRoundTrip) {
+  const std::vector<Complex> v = RandomSignal(100, 9);
+  const std::vector<Complex> f = FftAnySize(v, false);
+  const std::vector<Complex> back = FftAnySize(f, true);
+  for (size_t i = 0; i < v.size(); ++i) {
+    ASSERT_NEAR(back[i].real(), v[i].real(), 1e-8);
+    ASSERT_NEAR(back[i].imag(), v[i].imag(), 1e-8);
+  }
+}
+
+TEST(NextPowerOfTwoTest, Values) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(17), 32u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(ConvolveTest, MatchesNaiveConvolution) {
+  Rng rng(11);
+  std::vector<double> a(23), b(41);
+  for (auto& v : a) v = rng.Normal();
+  for (auto& v : b) v = rng.Normal();
+  const std::vector<double> got = Convolve(a, b);
+  ASSERT_EQ(got.size(), a.size() + b.size() - 1);
+  for (size_t k = 0; k < got.size(); ++k) {
+    double expected = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (k >= i && k - i < b.size()) expected += a[i] * b[k - i];
+    }
+    ASSERT_NEAR(got[k], expected, 1e-8) << "k=" << k;
+  }
+}
+
+TEST(ConvolveTest, DeltaIsIdentity) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {5.0, -1.0, 2.0};
+  const std::vector<double> got = Convolve(a, b);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_NEAR(got[0], 5.0, 1e-12);
+  EXPECT_NEAR(got[1], -1.0, 1e-12);
+  EXPECT_NEAR(got[2], 2.0, 1e-12);
+}
+
+TEST(SlidingDotProductTest, MatchesNaive) {
+  Rng rng(13);
+  std::vector<double> q(16), s(100);
+  for (auto& v : q) v = rng.Normal();
+  for (auto& v : s) v = rng.Normal();
+  const std::vector<double> got = SlidingDotProduct(q, s);
+  ASSERT_EQ(got.size(), s.size() - q.size() + 1);
+  for (size_t i = 0; i < got.size(); ++i) {
+    double expected = 0.0;
+    for (size_t j = 0; j < q.size(); ++j) expected += q[j] * s[i + j];
+    ASSERT_NEAR(got[i], expected, 1e-8);
+  }
+}
+
+TEST(RollingMeanStdTest, MatchesDirectComputation) {
+  Rng rng(15);
+  std::vector<double> s(64);
+  for (auto& v : s) v = rng.Uniform(-3, 3);
+  const size_t m = 9;
+  std::vector<double> mean, sd;
+  RollingMeanStd(s, m, &mean, &sd);
+  ASSERT_EQ(mean.size(), s.size() - m + 1);
+  for (size_t i = 0; i + m <= s.size(); ++i) {
+    double mu = 0.0;
+    for (size_t j = 0; j < m; ++j) mu += s[i + j];
+    mu /= static_cast<double>(m);
+    double var = 0.0;
+    for (size_t j = 0; j < m; ++j) var += (s[i + j] - mu) * (s[i + j] - mu);
+    var /= static_cast<double>(m);
+    ASSERT_NEAR(mean[i], mu, 1e-9);
+    ASSERT_NEAR(sd[i], std::sqrt(var), 1e-9);
+  }
+}
+
+TEST(MassDistanceProfileTest, ExactMatchHasZeroDistance) {
+  Rng rng(17);
+  std::vector<double> s(200);
+  for (auto& v : s) v = rng.Normal();
+  std::vector<double> q(s.begin() + 50, s.begin() + 70);
+  const std::vector<double> profile = MassDistanceProfile(q, s);
+  EXPECT_NEAR(profile[50], 0.0, 1e-4);
+  // And it is the minimum of the profile.
+  for (size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_GE(profile[i], -1e-9);
+    EXPECT_LE(profile[50], profile[i] + 1e-9);
+  }
+}
+
+TEST(MassDistanceProfileTest, ScaledShiftedMatchAlsoZero) {
+  // z-normalization makes the distance invariant to affine transforms.
+  Rng rng(19);
+  std::vector<double> s(150);
+  for (auto& v : s) v = rng.Normal();
+  std::vector<double> q(s.begin() + 30, s.begin() + 50);
+  for (double& v : q) v = 4.0 * v + 10.0;
+  const std::vector<double> profile = MassDistanceProfile(q, s);
+  EXPECT_NEAR(profile[30], 0.0, 1e-4);
+}
+
+TEST(MassDistanceProfileTest, ConstantWindowGetsNeutralDistance) {
+  std::vector<double> s(50, 1.0);
+  s[25] = 2.0;
+  std::vector<double> q = {1.0, 2.0, 3.0};
+  const std::vector<double> profile = MassDistanceProfile(q, s);
+  const double neutral = std::sqrt(2.0 * 3.0);
+  for (size_t i = 0; i < 20; ++i) ASSERT_NEAR(profile[i], neutral, 1e-9);
+}
+
+}  // namespace
+}  // namespace tycos

@@ -1,0 +1,211 @@
+#include "mi/incremental_ksg.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mi/ksg.h"
+
+namespace tycos {
+namespace {
+
+SeriesPair RandomPair(int64_t n, uint64_t seed, double coupling = 0.0) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.Normal();
+    y[static_cast<size_t>(i)] =
+        coupling * x[static_cast<size_t>(i)] + rng.Normal();
+  }
+  return SeriesPair(TimeSeries(std::move(x)), TimeSeries(std::move(y)));
+}
+
+double BatchMi(const SeriesPair& pair, const Window& w, int k) {
+  KsgOptions o;
+  o.k = k;
+  o.backend = KnnBackend::kBrute;
+  return KsgMi(pair, w, o);
+}
+
+TEST(IncrementalKsgTest, FirstWindowMatchesBatch) {
+  const SeriesPair pair = RandomPair(300, 1, 0.8);
+  IncrementalKsg inc(pair, 4);
+  const Window w(10, 120, 0);
+  EXPECT_NEAR(inc.SetWindow(w), BatchMi(pair, w, 4), 1e-9);
+}
+
+TEST(IncrementalKsgTest, GrowEndOneStepAtATime) {
+  const SeriesPair pair = RandomPair(400, 2, 0.5);
+  IncrementalKsg inc(pair, 4);
+  inc.SetWindow(Window(50, 80, 0));
+  for (int64_t end = 81; end <= 140; ++end) {
+    const Window w(50, end, 0);
+    ASSERT_NEAR(inc.SetWindow(w), BatchMi(pair, w, 4), 1e-9)
+        << "end=" << end;
+  }
+  EXPECT_EQ(inc.stats().full_rebuilds, 1);  // only the initial window
+  EXPECT_EQ(inc.stats().incremental_moves, 60);
+}
+
+TEST(IncrementalKsgTest, ShrinkFromBothSides) {
+  const SeriesPair pair = RandomPair(300, 3, 0.9);
+  IncrementalKsg inc(pair, 3);
+  inc.SetWindow(Window(20, 200, 0));
+  const Window shrunk(40, 170, 0);
+  EXPECT_NEAR(inc.SetWindow(shrunk), BatchMi(pair, shrunk, 3), 1e-9);
+  EXPECT_EQ(inc.stats().full_rebuilds, 1);
+}
+
+TEST(IncrementalKsgTest, SlideWindowForward) {
+  const SeriesPair pair = RandomPair(500, 4, 0.7);
+  IncrementalKsg inc(pair, 4);
+  inc.SetWindow(Window(0, 99, 0));
+  for (int64_t s = 5; s <= 100; s += 5) {
+    const Window w(s, s + 99, 0);
+    ASSERT_NEAR(inc.SetWindow(w), BatchMi(pair, w, 4), 1e-9) << "s=" << s;
+  }
+  EXPECT_EQ(inc.stats().full_rebuilds, 1);
+}
+
+TEST(IncrementalKsgTest, DelayChangeTriggersRebuildButStaysCorrect) {
+  const SeriesPair pair = RandomPair(300, 5, 0.6);
+  IncrementalKsg inc(pair, 4);
+  inc.SetWindow(Window(50, 150, 0));
+  const Window shifted(50, 150, 7);
+  EXPECT_NEAR(inc.SetWindow(shifted), BatchMi(pair, shifted, 4), 1e-9);
+  EXPECT_EQ(inc.stats().full_rebuilds, 2);
+}
+
+TEST(IncrementalKsgTest, DisjointJumpRebuilds) {
+  const SeriesPair pair = RandomPair(600, 6, 0.4);
+  IncrementalKsg inc(pair, 4);
+  inc.SetWindow(Window(0, 60, 0));
+  const Window far(400, 480, 0);
+  EXPECT_NEAR(inc.SetWindow(far), BatchMi(pair, far, 4), 1e-9);
+  EXPECT_EQ(inc.stats().full_rebuilds, 2);
+}
+
+TEST(IncrementalKsgTest, NegativeDelays) {
+  const SeriesPair pair = RandomPair(300, 7, 0.8);
+  IncrementalKsg inc(pair, 4);
+  const Window w(100, 180, -9);
+  EXPECT_NEAR(inc.SetWindow(w), BatchMi(pair, w, 4), 1e-9);
+  const Window w2(95, 190, -9);
+  EXPECT_NEAR(inc.SetWindow(w2), BatchMi(pair, w2, 4), 1e-9);
+}
+
+TEST(IncrementalKsgTest, TooSmallWindowScoresZero) {
+  const SeriesPair pair = RandomPair(100, 8);
+  IncrementalKsg inc(pair, 4);
+  EXPECT_DOUBLE_EQ(inc.SetWindow(Window(0, 3, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(inc.CurrentMi(), 0.0);
+  // Recovers to a normal window afterwards.
+  const Window w(0, 50, 0);
+  EXPECT_NEAR(inc.SetWindow(w), BatchMi(pair, w, 4), 1e-9);
+}
+
+TEST(IncrementalKsgTest, CurrentMiIsStableAcrossReads) {
+  const SeriesPair pair = RandomPair(200, 9, 0.5);
+  IncrementalKsg inc(pair, 4);
+  const double v = inc.SetWindow(Window(10, 150, 2));
+  EXPECT_DOUBLE_EQ(inc.CurrentMi(), v);
+  EXPECT_DOUBLE_EQ(inc.CurrentMi(), v);
+}
+
+TEST(IncrementalKsgTest, MarginalUpdatesDominateKnnRecomputes) {
+  // On smooth data, most added points should only touch IMRs, not IRs —
+  // that's the whole point of Section 7.
+  const SeriesPair pair = RandomPair(2000, 10, 0.3);
+  IncrementalKsg inc(pair, 4);
+  inc.SetWindow(Window(0, 499, 0));
+  for (int64_t end = 500; end < 900; ++end) inc.SetWindow(Window(0, end, 0));
+  const auto& st = inc.stats();
+  EXPECT_GT(st.marginal_updates, 0);
+  // Each added point scans all existing points for IR hits, but only a
+  // small fraction should trigger a kNN recompute.
+  EXPECT_LT(st.knn_recomputes, st.points_added * 60);
+}
+
+struct WalkCase {
+  int64_t n;
+  int k;
+  double coupling;
+  uint64_t seed;
+};
+
+class IncrementalWalkTest : public ::testing::TestWithParam<WalkCase> {};
+
+// The central property test: a random walk of window edits (grow, shrink,
+// slide, delay changes, jumps) must track the batch estimator bit-for-bit.
+TEST_P(IncrementalWalkTest, RandomEditWalkMatchesBatch) {
+  const WalkCase c = GetParam();
+  const SeriesPair pair = RandomPair(c.n, c.seed, c.coupling);
+  IncrementalKsg inc(pair, c.k);
+  Rng rng(c.seed * 31 + 7);
+
+  int64_t start = c.n / 4;
+  int64_t end = start + 50;
+  int64_t delay = 0;
+  for (int step = 0; step < 120; ++step) {
+    const int64_t move = rng.UniformInt(0, 5);
+    switch (move) {
+      case 0:
+        end = std::min(end + rng.UniformInt(1, 8), c.n - 1);
+        break;
+      case 1:
+        end = std::max(end - rng.UniformInt(1, 8), start + c.k + 2);
+        break;
+      case 2:
+        start = std::max<int64_t>(start - rng.UniformInt(1, 8), 0);
+        break;
+      case 3:
+        start = std::min(start + rng.UniformInt(1, 8), end - c.k - 2);
+        break;
+      case 4:
+        delay = rng.UniformInt(-10, 10);
+        break;
+      default: {  // occasional far jump
+        start = rng.UniformInt(0, c.n - 80);
+        end = start + rng.UniformInt(c.k + 2, 70);
+        break;
+      }
+    }
+    // Keep the Y window in range.
+    if (start + delay < 0) delay = -start;
+    if (end + delay >= c.n) delay = c.n - 1 - end;
+    const Window w(start, end, delay);
+    const double got = inc.SetWindow(w);
+    const double expected = BatchMi(pair, w, c.k);
+    ASSERT_NEAR(got, expected, 1e-9)
+        << "step " << step << " window " << w.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalWalkTest,
+    ::testing::Values(WalkCase{400, 4, 0.0, 1}, WalkCase{400, 4, 0.9, 2},
+                      WalkCase{600, 2, 0.5, 3}, WalkCase{600, 6, 0.5, 4},
+                      WalkCase{300, 1, 0.7, 5}, WalkCase{500, 3, 0.2, 6}));
+
+TEST(IncrementalWalkTest, DiscreteValuedDataWalk) {
+  // Heavy ties (integer-valued series) stress the closed-interval counting.
+  Rng rng(77);
+  const int64_t n = 400;
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = static_cast<double>(rng.UniformInt(0, 6));
+    y[static_cast<size_t>(i)] = static_cast<double>(rng.UniformInt(0, 6));
+  }
+  const SeriesPair pair(TimeSeries(std::move(x)), TimeSeries(std::move(y)));
+  IncrementalKsg inc(pair, 4);
+  inc.SetWindow(Window(0, 60, 0));
+  for (int64_t end = 61; end <= 200; ++end) {
+    const Window w(0, end, 0);
+    ASSERT_NEAR(inc.SetWindow(w), BatchMi(pair, w, 4), 1e-9) << "end=" << end;
+  }
+}
+
+}  // namespace
+}  // namespace tycos

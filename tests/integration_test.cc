@@ -1,0 +1,144 @@
+// End-to-end pipelines: generate → persist → reload → search → validate
+// against ground truth, and cross-method comparisons on one dataset.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/amic.h"
+#include "core/window_similarity.h"
+#include "datagen/energy_sim.h"
+#include "datagen/relations.h"
+#include "io/csv.h"
+#include "search/brute_force_search.h"
+#include "search/tycos.h"
+
+namespace tycos {
+namespace {
+
+using datagen::ComposeDataset;
+using datagen::RelationType;
+using datagen::SegmentSpec;
+using datagen::SyntheticDataset;
+
+TEST(IntegrationTest, CsvRoundTripThenSearch) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 150, 0}}, /*gap=*/150, /*seed=*/1);
+
+  const std::string path = ::testing::TempDir() + "/tycos_integration.csv";
+  ASSERT_TRUE(WriteCsv(path, {ds.pair.x(), ds.pair.y()}).ok());
+  const auto table = ReadCsv(path);
+  ASSERT_TRUE(table.ok());
+  const auto x = ColumnAsSeries(*table, "X");
+  const auto y = ColumnAsSeries(*table, "Y");
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(y.ok());
+  const SeriesPair reloaded(*x, *y);
+
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 24;
+  p.s_max = 300;
+  p.td_max = 16;
+  Tycos search(reloaded, p, TycosVariant::kLMN);
+  const WindowSet result = search.Run();
+  ASSERT_FALSE(result.empty());
+  bool covered = false;
+  for (const Window& w : result.windows()) {
+    covered |= IndexJaccard(w, ds.planted[0].AsWindow()) > 0.3;
+  }
+  EXPECT_TRUE(covered);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, TycosMatchesBruteForceOnSmallInstance) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 80, 2}}, /*gap=*/60, /*seed=*/2);
+  TycosParams p;
+  p.sigma = 0.55;
+  p.s_min = 16;
+  p.s_max = 96;
+  p.td_max = 4;
+  p.delta = 2;
+
+  const BruteForceResult bf = BruteForceSearch(ds.pair, p).Run();
+  const WindowSet heuristic = Tycos(ds.pair, p, TycosVariant::kLMN).Run();
+
+  ASSERT_FALSE(bf.merged.empty());
+  ASSERT_FALSE(heuristic.empty());
+  // The heuristic must rediscover the brute-force windows (Table 4's
+  // similarity metric): every merged BF window overlapped by something.
+  const double acc =
+      MatchAccuracyPercent(bf.merged, heuristic.windows(), 0.3);
+  EXPECT_GE(acc, 50.0);
+}
+
+TEST(IntegrationTest, TycosBeatsAmicOnDelayedData) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kQuadratic, 180, 24}}, /*gap=*/180,
+      /*seed=*/3);
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 24;
+  p.s_max = 250;
+  p.td_max = 32;
+
+  const WindowSet tycos_result = Tycos(ds.pair, p, TycosVariant::kLMN).Run();
+  AmicOptions ao;
+  ao.sigma = p.sigma;
+  ao.s_min = p.s_min;
+  const AmicResult amic_result = AmicSearch(ds.pair, ao);
+
+  const Window truth = ds.planted[0].AsWindow();
+  bool tycos_found = false;
+  for (const Window& w : tycos_result.windows()) {
+    tycos_found |= IndexJaccard(w, truth) > 0.3;
+  }
+  bool amic_found = false;
+  for (const Window& w : amic_result.windows.windows()) {
+    amic_found |= IndexJaccard(w, truth) > 0.3;
+  }
+  EXPECT_TRUE(tycos_found);
+  EXPECT_FALSE(amic_found);  // AMIC cannot see the τ=24 shift
+}
+
+TEST(IntegrationTest, EnergyPipelineExtractsLaggedCorrelation) {
+  datagen::EnergySimOptions opt;
+  opt.days = 6;
+  opt.samples_per_hour = 6;  // 10-minute samples keep the test fast
+  datagen::EnergySimulator sim(opt);
+  const SeriesPair pair = sim.Pair(datagen::EnergyChannel::kClothesWasher,
+                                   datagen::EnergyChannel::kDryer);
+  TycosParams p;
+  p.sigma = 0.4;
+  p.s_min = 12;
+  p.s_max = 288;  // up to 2 days
+  p.td_max = 18;  // up to 3 hours
+  p.tie_jitter = 1e-9;
+  Tycos search(pair, p, TycosVariant::kLMN);
+  const WindowSet result = search.Run();
+  EXPECT_FALSE(result.empty());
+}
+
+TEST(IntegrationTest, WindowsExportImportRoundTrip) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 120, 0}}, /*gap=*/120, /*seed=*/4);
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 24;
+  p.s_max = 200;
+  p.td_max = 8;
+  const WindowSet result = Tycos(ds.pair, p, TycosVariant::kLMN).Run();
+  ASSERT_FALSE(result.empty());
+
+  const std::string path = ::testing::TempDir() + "/tycos_windows_it.csv";
+  ASSERT_TRUE(WriteWindowsCsv(path, result.Sorted()).ok());
+  const auto table = ReadCsv(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), static_cast<int64_t>(result.size()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tycos

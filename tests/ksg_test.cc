@@ -1,0 +1,197 @@
+#include "mi/ksg.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mi/histogram_mi.h"
+
+namespace tycos {
+namespace {
+
+// Correlated bivariate Gaussian sample with correlation rho.
+void GaussianPair(int n, double rho, uint64_t seed, std::vector<double>* xs,
+                  std::vector<double>* ys) {
+  Rng rng(seed);
+  xs->resize(static_cast<size_t>(n));
+  ys->resize(static_cast<size_t>(n));
+  const double c = std::sqrt(1.0 - rho * rho);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Normal();
+    const double b = rng.Normal();
+    (*xs)[static_cast<size_t>(i)] = a;
+    (*ys)[static_cast<size_t>(i)] = rho * a + c * b;
+  }
+}
+
+// Exact MI of a bivariate Gaussian: -0.5 ln(1 - rho²).
+double GaussianMi(double rho) { return -0.5 * std::log(1.0 - rho * rho); }
+
+TEST(KsgMiTest, IndependentDataHasNearZeroMi) {
+  std::vector<double> xs, ys;
+  GaussianPair(2000, 0.0, 1, &xs, &ys);
+  const double mi = KsgMi(xs, ys);
+  EXPECT_NEAR(mi, 0.0, 0.05);
+}
+
+class KsgGaussianTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KsgGaussianTest, RecoversAnalyticGaussianMi) {
+  const double rho = GetParam();
+  std::vector<double> xs, ys;
+  GaussianPair(4000, rho, 42, &xs, &ys);
+  const double mi = KsgMi(xs, ys);
+  EXPECT_NEAR(mi, GaussianMi(rho), 0.08) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(RhoSweep, KsgGaussianTest,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 0.9, -0.5,
+                                           -0.8));
+
+TEST(KsgMiTest, StrongFunctionalRelationHasHighMi) {
+  Rng rng(7);
+  std::vector<double> xs(1000), ys(1000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Uniform(-2, 2);
+    ys[i] = std::sin(3.0 * xs[i]) + 0.01 * rng.Normal();
+  }
+  EXPECT_GT(KsgMi(xs, ys), 1.5);  // near-deterministic, non-monotone
+}
+
+TEST(KsgMiTest, InvariantUnderMonotoneTransformOfX) {
+  std::vector<double> xs, ys;
+  GaussianPair(2000, 0.7, 3, &xs, &ys);
+  const double base = KsgMi(xs, ys);
+  std::vector<double> ex(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) ex[i] = std::exp(xs[i]);
+  const double transformed = KsgMi(ex, ys);
+  // MI is invariant under smooth monotone reparameterization; KSG tracks
+  // this closely.
+  EXPECT_NEAR(base, transformed, 0.1);
+}
+
+TEST(KsgMiTest, BackendsAgreeExactly) {
+  std::vector<double> xs, ys;
+  GaussianPair(800, 0.6, 9, &xs, &ys);
+  KsgOptions brute, kd, grid;
+  brute.backend = KnnBackend::kBrute;
+  kd.backend = KnnBackend::kKdTree;
+  grid.backend = KnnBackend::kGrid;
+  const double reference = KsgMi(xs, ys, brute);
+  EXPECT_DOUBLE_EQ(reference, KsgMi(xs, ys, kd));
+  EXPECT_DOUBLE_EQ(reference, KsgMi(xs, ys, grid));
+}
+
+TEST(KsgMiTest, TooFewSamplesReturnsZero) {
+  std::vector<double> xs = {1, 2, 3};
+  std::vector<double> ys = {4, 5, 6};
+  KsgOptions o;
+  o.k = 4;
+  EXPECT_DOUBLE_EQ(KsgMi(xs, ys, o), 0.0);
+}
+
+TEST(KsgMiTest, LargerKStillTracksGaussianMi) {
+  std::vector<double> xs, ys;
+  GaussianPair(3000, 0.8, 12, &xs, &ys);
+  KsgOptions o;
+  o.k = 10;
+  EXPECT_NEAR(KsgMi(xs, ys, o), GaussianMi(0.8), 0.1);
+}
+
+TEST(KsgMiTest, WindowOverloadRespectsDelay) {
+  // Relation planted at delay 5: y[i+5] = x[i].
+  Rng rng(21);
+  const int64_t n = 400;
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.Uniform(0, 1);
+    y[static_cast<size_t>(i)] = rng.Uniform(0, 1);
+  }
+  for (int64_t i = 0; i + 5 < n; ++i) {
+    y[static_cast<size_t>(i + 5)] = x[static_cast<size_t>(i)];
+  }
+  SeriesPair pair{TimeSeries(x), TimeSeries(y)};
+  const double aligned = KsgMi(pair, Window(50, 250, 5));
+  const double misaligned = KsgMi(pair, Window(50, 250, 0));
+  EXPECT_GT(aligned, 2.0);
+  EXPECT_LT(misaligned, 0.3);
+}
+
+TEST(KsgMiTest, TieJitterMakesDiscreteDataFinite) {
+  // Identical discrete values create massive ties; jitter must keep the
+  // estimator finite and roughly correct (X determines Y: high MI).
+  std::vector<double> xs, ys;
+  Rng rng(33);
+  for (int i = 0; i < 600; ++i) {
+    const double v = static_cast<double>(rng.UniformInt(0, 3));
+    xs.push_back(v);
+    ys.push_back(v);
+  }
+  KsgOptions o;
+  o.tie_jitter = 1e-6;
+  const double mi = KsgMi(xs, ys, o);
+  EXPECT_TRUE(std::isfinite(mi));
+  EXPECT_GT(mi, 0.8);  // H(X) = ln 4 ≈ 1.39 is the ceiling
+}
+
+TEST(KsgMiTest, AgreesWithHistogramEstimatorOnStrongRelation) {
+  std::vector<double> xs, ys;
+  GaussianPair(4000, 0.9, 5, &xs, &ys);
+  const double ksg = KsgMi(xs, ys);
+  const double hist = HistogramMi(xs, ys);
+  // Both should land near the analytic 0.830; histogram is biased but the
+  // two independent estimators must agree to ~25%.
+  EXPECT_NEAR(ksg, hist, 0.25 * std::max(ksg, hist));
+}
+
+TEST(NormalizedMiTest, BoundsRespected) {
+  std::vector<double> xs, ys;
+  GaussianPair(1000, 0.9, 8, &xs, &ys);
+  for (const auto mode : {MiNormalization::kEntropyRatio,
+                          MiNormalization::kCorrelationCoefficient}) {
+    const double v = NormalizedMi(xs, ys, {}, mode);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(NormalizedMiTest, OrdersRelationsByStrength) {
+  std::vector<double> x0, y0, x1, y1;
+  GaussianPair(1500, 0.0, 10, &x0, &y0);
+  GaussianPair(1500, 0.95, 10, &x1, &y1);
+  EXPECT_LT(NormalizedMi(x0, y0), 0.1);
+  EXPECT_GT(NormalizedMi(x1, y1), NormalizedMi(x0, y0) + 0.2);
+}
+
+TEST(NormalizedMiTest, CorrelationCoefficientMatchesGaussianRho) {
+  // sqrt(1 - exp(-2 I)) recovers |rho| exactly for Gaussians.
+  std::vector<double> xs, ys;
+  GaussianPair(4000, 0.7, 11, &xs, &ys);
+  const double r = NormalizedMi(
+      xs, ys, {}, MiNormalization::kCorrelationCoefficient,
+      /*small_sample_penalty=*/0.0);
+  EXPECT_NEAR(r, 0.7, 0.06);
+}
+
+TEST(ApplyTieJitterTest, DeterministicAndBounded) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = a;
+  internal::ApplyTieJitter(&a, 1e-3, 7);
+  internal::ApplyTieJitter(&b, 1e-3, 7);
+  EXPECT_EQ(a, b);  // same salt, same jitter
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], static_cast<double>(i + 1), 3e-3 * 1.51);
+    EXPECT_NE(a[i], static_cast<double>(i + 1));
+  }
+}
+
+TEST(ApplyTieJitterTest, ZeroAmplitudeIsNoOp) {
+  std::vector<double> a = {1.0, 2.0};
+  internal::ApplyTieJitter(&a, 0.0, 1);
+  EXPECT_EQ(a, (std::vector<double>{1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace tycos

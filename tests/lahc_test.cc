@@ -1,0 +1,55 @@
+#include "search/lahc.h"
+
+#include <gtest/gtest.h>
+
+namespace tycos {
+namespace {
+
+TEST(LahcHistoryTest, InitializesAllSlots) {
+  LahcHistory h(5, 0.3);
+  for (size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(h.ValueAt(i), 0.3);
+  EXPECT_EQ(h.length(), 5);
+}
+
+TEST(LahcHistoryTest, UpdateChangesOnlyThatSlot) {
+  LahcHistory h(4, 0.1);
+  h.Update(2, 0.9);
+  EXPECT_DOUBLE_EQ(h.ValueAt(2), 0.9);
+  EXPECT_DOUBLE_EQ(h.ValueAt(0), 0.1);
+  EXPECT_DOUBLE_EQ(h.ValueAt(1), 0.1);
+  EXPECT_DOUBLE_EQ(h.ValueAt(3), 0.1);
+}
+
+TEST(LahcHistoryTest, ResetOverwritesEverything) {
+  LahcHistory h(3, 0.1);
+  h.Update(0, 0.5);
+  h.Reset(0.7);
+  for (size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(h.ValueAt(i), 0.7);
+}
+
+TEST(LahcHistoryTest, SampleSlotIsInRange) {
+  LahcHistory h(7, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(h.SampleSlot(rng), 7u);
+  }
+}
+
+TEST(LahcHistoryTest, SampleSlotCoversAllSlots) {
+  LahcHistory h(4, 0.0);
+  Rng rng(2);
+  bool seen[4] = {false, false, false, false};
+  for (int i = 0; i < 400; ++i) seen[h.SampleSlot(rng)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(LahcHistoryTest, SingleSlotHistory) {
+  LahcHistory h(1, 0.42);
+  Rng rng(3);
+  EXPECT_EQ(h.SampleSlot(rng), 0u);
+  h.Update(0, 1.0);
+  EXPECT_DOUBLE_EQ(h.ValueAt(0), 1.0);
+}
+
+}  // namespace
+}  // namespace tycos

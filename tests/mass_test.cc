@@ -1,0 +1,81 @@
+#include "baselines/mass.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tycos {
+namespace {
+
+// Pair where y replays x's shape at `delay` in [lo, hi), noise elsewhere.
+SeriesPair ReplayPair(int64_t n, int64_t lo, int64_t hi, int64_t delay,
+                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.Normal();
+    y[static_cast<size_t>(i)] = rng.Normal();
+  }
+  for (int64_t i = lo; i < hi; ++i) {
+    // Affine copy: z-normalized matching must see distance ~0.
+    y[static_cast<size_t>(i + delay)] = 2.0 * x[static_cast<size_t>(i)] + 5.0;
+  }
+  return SeriesPair(TimeSeries(std::move(x)), TimeSeries(std::move(y)));
+}
+
+TEST(MassBestMatchTest, FindsExactReplay) {
+  const SeriesPair pair = ReplayPair(500, 200, 260, 0, 1);
+  const MassMatch m =
+      MassBestMatch(pair.x().values(), pair.y().values(), 200, 60);
+  EXPECT_EQ(m.match_start, 200);
+  EXPECT_NEAR(m.distance, 0.0, 1e-4);
+}
+
+TEST(MassBestMatchTest, FindsShiftedReplayAtShiftedPosition) {
+  const SeriesPair pair = ReplayPair(500, 200, 260, 30, 2);
+  const MassMatch m =
+      MassBestMatch(pair.x().values(), pair.y().values(), 200, 60);
+  EXPECT_EQ(m.match_start, 230);
+  EXPECT_NEAR(m.distance, 0.0, 1e-4);
+}
+
+TEST(MassBestMatchTest, NoReplayGivesLargeDistance) {
+  const SeriesPair pair = ReplayPair(500, 0, 0, 0, 3);  // pure noise
+  const MassMatch m =
+      MassBestMatch(pair.x().values(), pair.y().values(), 100, 64);
+  EXPECT_GT(m.distance, 0.3 * std::sqrt(2.0 * 64.0));
+}
+
+TEST(MassScanTest, DetectsAlignedRelation) {
+  const SeriesPair pair = ReplayPair(800, 300, 420, 0, 4);
+  MassScanOptions opt;
+  opt.window = 64;
+  opt.stride = 16;
+  const auto matches = MassScan(pair, opt);
+  ASSERT_FALSE(matches.empty());
+  // Matches should sit inside the replay region.
+  for (const MassMatch& m : matches) {
+    EXPECT_GE(m.query_start, 300 - opt.window);
+    EXPECT_LE(m.query_start, 420);
+  }
+}
+
+TEST(MassScanTest, MissesDelayedRelationDueToAlignment) {
+  // The relation exists but at delay 120 — outside align_tolerance, so the
+  // aligned scan (the paper's usage) reports nothing.
+  const SeriesPair pair = ReplayPair(800, 300, 420, 120, 5);
+  MassScanOptions opt;
+  opt.window = 64;
+  opt.stride = 16;
+  opt.align_tolerance = 16;
+  EXPECT_TRUE(MassScan(pair, opt).empty());
+}
+
+TEST(MassScanTest, PureNoiseYieldsNothing) {
+  const SeriesPair pair = ReplayPair(600, 0, 0, 0, 6);
+  MassScanOptions opt;
+  EXPECT_TRUE(MassScan(pair, opt).empty());
+}
+
+}  // namespace
+}  // namespace tycos

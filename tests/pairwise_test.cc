@@ -1,0 +1,84 @@
+#include "search/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/relations.h"
+
+namespace tycos {
+namespace {
+
+using datagen::ComposeDataset;
+using datagen::RelationType;
+using datagen::SegmentSpec;
+
+// Three channels: A and B share a planted relation, C is independent noise.
+std::vector<TimeSeries> MakeChannels(uint64_t seed) {
+  const auto ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 200, 8}}, /*gap=*/200, seed);
+  Rng rng(seed + 99);
+  std::vector<double> c(static_cast<size_t>(ds.pair.size()));
+  for (double& v : c) v = rng.Normal();
+  return {ds.pair.x(), ds.pair.y(), TimeSeries(std::move(c), "C")};
+}
+
+TycosParams Params() {
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 24;
+  p.s_max = 300;
+  p.td_max = 16;
+  return p;
+}
+
+TEST(PairwiseSearchTest, RanksTheRelatedPairFirst) {
+  const auto channels = MakeChannels(1);
+  const PairwiseResult r =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN);
+  ASSERT_EQ(r.entries.size(), 3u);  // (0,1), (0,2), (1,2)
+  EXPECT_EQ(r.entries[0].a, 0);
+  EXPECT_EQ(r.entries[0].b, 1);
+  EXPECT_GT(r.entries[0].best_score, 0.5);
+  EXPECT_FALSE(r.entries[0].windows.empty());
+}
+
+TEST(PairwiseSearchTest, UnrelatedPairsFindNothing) {
+  const auto channels = MakeChannels(2);
+  const PairwiseResult r =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN);
+  const auto correlated = r.Correlated();
+  ASSERT_EQ(correlated.size(), 1u);
+  EXPECT_EQ(correlated[0]->a, 0);
+  EXPECT_EQ(correlated[0]->b, 1);
+}
+
+TEST(PairwiseSearchTest, CoversAllUnorderedPairs) {
+  const auto channels = MakeChannels(3);
+  const PairwiseResult r =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN);
+  int seen[3][3] = {};
+  for (const PairwiseEntry& e : r.entries) {
+    ASSERT_LT(e.a, e.b);
+    ++seen[e.a][e.b];
+  }
+  EXPECT_EQ(seen[0][1], 1);
+  EXPECT_EQ(seen[0][2], 1);
+  EXPECT_EQ(seen[1][2], 1);
+}
+
+TEST(PairwiseSearchTest, DeterministicForFixedSeed) {
+  const auto channels = MakeChannels(4);
+  const PairwiseResult r1 =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN, 7);
+  const PairwiseResult r2 =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN, 7);
+  ASSERT_EQ(r1.entries.size(), r2.entries.size());
+  for (size_t i = 0; i < r1.entries.size(); ++i) {
+    EXPECT_EQ(r1.entries[i].a, r2.entries[i].a);
+    EXPECT_EQ(r1.entries[i].b, r2.entries[i].b);
+    EXPECT_DOUBLE_EQ(r1.entries[i].best_score, r2.entries[i].best_score);
+  }
+}
+
+}  // namespace
+}  // namespace tycos

@@ -1,0 +1,67 @@
+#include "mi/pearson.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tycos {
+namespace {
+
+TEST(PearsonTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftAndScaleInvariant) {
+  std::vector<double> xs = {1, 5, 2, 8, 3};
+  std::vector<double> ys = {2, 1, 4, 3, 5};
+  const double base = PearsonCorrelation(xs, ys);
+  std::vector<double> ys2(ys);
+  for (double& v : ys2) v = 3.0 * v + 100.0;
+  EXPECT_NEAR(PearsonCorrelation(xs, ys2), base, 1e-12);
+}
+
+TEST(PearsonTest, ConstantInputGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(PearsonTest, TooFewSamplesGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(PearsonTest, IndependentIsNearZero) {
+  Rng rng(1);
+  std::vector<double> xs(5000), ys(5000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Normal();
+    ys[i] = rng.Normal();
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.0, 0.05);
+}
+
+TEST(PearsonTest, MissesSymmetricQuadratic) {
+  // The textbook PCC blind spot: y = x² on symmetric x has r ≈ 0.
+  Rng rng(2);
+  std::vector<double> xs(5000), ys(5000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Uniform(-1, 1);
+    ys[i] = xs[i] * xs[i];
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 0.0, 0.06);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computed: xs={1,2,3}, ys={1,3,2} -> r = 0.5.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {1, 3, 2}), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace tycos

@@ -1,0 +1,249 @@
+// Property-based suites: invariants that must hold across randomized
+// inputs, beyond the example-based unit tests.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/window_set.h"
+#include "core/window_similarity.h"
+#include "datagen/relations.h"
+#include "mi/ksg.h"
+#include "search/brute_force_search.h"
+
+namespace tycos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// KSG estimator invariances.
+// ---------------------------------------------------------------------------
+
+class KsgInvarianceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void MakeData(std::vector<double>* xs, std::vector<double>* ys) {
+    Rng rng(GetParam());
+    xs->resize(400);
+    ys->resize(400);
+    for (size_t i = 0; i < xs->size(); ++i) {
+      (*xs)[i] = rng.Normal();
+      (*ys)[i] = std::tanh((*xs)[i]) + 0.3 * rng.Normal();
+    }
+  }
+};
+
+TEST_P(KsgInvarianceTest, SymmetricInArguments) {
+  std::vector<double> xs, ys;
+  MakeData(&xs, &ys);
+  EXPECT_NEAR(KsgMi(xs, ys), KsgMi(ys, xs), 1e-9);
+}
+
+TEST_P(KsgInvarianceTest, InvariantUnderSamplePermutation) {
+  // MI is a property of the joint distribution, not the sample order —
+  // permuting the *pairs* must not change the estimate.
+  std::vector<double> xs, ys;
+  MakeData(&xs, &ys);
+  const double base = KsgMi(xs, ys);
+  std::vector<size_t> perm(xs.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  Rng rng(GetParam() + 1);
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+  std::vector<double> px(xs.size()), py(ys.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    px[i] = xs[perm[i]];
+    py[i] = ys[perm[i]];
+  }
+  EXPECT_NEAR(KsgMi(px, py), base, 1e-9);
+}
+
+TEST_P(KsgInvarianceTest, InvariantUnderUniformAffineRescaling) {
+  // Scaling both marginals by the same magnitude rescales every L∞
+  // distance uniformly, so neighbourhoods and counts are unchanged. (Note
+  // this is deliberately *uniform*: rescaling the dimensions by different
+  // factors changes the finite-sample KSG estimate slightly — the
+  // well-known reason KSG inputs are usually pre-normalized.)
+  std::vector<double> xs, ys;
+  MakeData(&xs, &ys);
+  const double base = KsgMi(xs, ys);
+  std::vector<double> sx(xs), sy(ys);
+  for (double& v : sx) v = 3.5 * v - 7.0;
+  for (double& v : sy) v = -3.5 * v + 2.0;  // same magnitude, sign flipped
+  // Not bit-exact: the marginal-count boundary (center ± d) rounds
+  // differently after rescaling, flipping a handful of defining-neighbour
+  // inclusions; each flip moves the estimate by O(1/(k·m)).
+  EXPECT_NEAR(KsgMi(sx, sy), base, 5e-3);
+}
+
+TEST_P(KsgInvarianceTest, ShufflingOnePartnerDestroysMi) {
+  // Breaking the pairing must send the estimate to ~0 (a permutation-test
+  // null that every dependence measure must satisfy).
+  std::vector<double> xs, ys;
+  MakeData(&xs, &ys);
+  Rng rng(GetParam() + 2);
+  std::vector<double> shuffled = ys;
+  std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
+  EXPECT_GT(KsgMi(xs, ys), 0.4);
+  EXPECT_NEAR(KsgMi(xs, shuffled), 0.0, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsgInvarianceTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Window algebra properties.
+// ---------------------------------------------------------------------------
+
+TEST(WindowAlgebraPropertyTest, ConcatenationSizeIsAdditive) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t s = rng.UniformInt(0, 1000);
+    const int64_t mid = s + rng.UniformInt(0, 100);
+    const int64_t e = mid + 1 + rng.UniformInt(0, 100);
+    const int64_t tau = rng.UniformInt(-20, 20);
+    const Window a(s, mid, tau), b(mid + 1, e, tau);
+    ASSERT_TRUE(AreConsecutive(a, b));
+    const Window c = Concatenate(a, b);
+    ASSERT_EQ(c.size(), a.size() + b.size());
+    ASSERT_TRUE(Contains(c, a));
+    ASSERT_TRUE(Contains(c, b));
+  }
+}
+
+TEST(WindowAlgebraPropertyTest, ContainmentIsPartialOrder) {
+  Rng rng(2);
+  std::vector<Window> ws;
+  for (int i = 0; i < 40; ++i) {
+    const int64_t s = rng.UniformInt(0, 50);
+    ws.push_back(Window(s, s + rng.UniformInt(0, 50), rng.UniformInt(-2, 2)));
+  }
+  for (const Window& a : ws) {
+    ASSERT_TRUE(Contains(a, a));  // reflexive
+    for (const Window& b : ws) {
+      if (Contains(a, b) && Contains(b, a)) {
+        ASSERT_TRUE(a.SameSpan(b));  // antisymmetric
+      }
+      for (const Window& c : ws) {
+        if (Contains(a, b) && Contains(b, c)) {
+          ASSERT_TRUE(Contains(a, c));  // transitive
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowAlgebraPropertyTest, JaccardIsBoundedAndSymmetric) {
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int64_t s1 = rng.UniformInt(0, 200);
+    const Window a(s1, s1 + rng.UniformInt(0, 80), 0);
+    const int64_t s2 = rng.UniformInt(0, 200);
+    const Window b(s2, s2 + rng.UniformInt(0, 80), 0);
+    const double j = IndexJaccard(a, b);
+    ASSERT_GE(j, 0.0);
+    ASSERT_LE(j, 1.0);
+    ASSERT_DOUBLE_EQ(j, IndexJaccard(b, a));
+    ASSERT_LE(j, OverlapCoefficient(a, b) + 1e-12);  // Jaccard <= overlap
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WindowSet stress: invariants under randomized insertion.
+// ---------------------------------------------------------------------------
+
+TEST(WindowSetPropertyTest, RandomizedNonNestingInvariant) {
+  Rng rng(4);
+  WindowSet set;
+  std::vector<Window> offered;
+  for (int i = 0; i < 400; ++i) {
+    const int64_t s = rng.UniformInt(0, 300);
+    Window w(s, s + rng.UniformInt(0, 60), rng.UniformInt(-3, 3));
+    w.mi = rng.Uniform(0.0, 1.0);
+    offered.push_back(w);
+    set.Insert(w);
+  }
+  const auto& ws = set.windows();
+  // (a) Non-nesting invariant.
+  for (size_t i = 0; i < ws.size(); ++i) {
+    for (size_t j = 0; j < ws.size(); ++j) {
+      if (i == j) continue;
+      ASSERT_FALSE(Contains(ws[i], ws[j]));
+    }
+  }
+  // (b) Every member is one of the offered windows, MI included.
+  for (const Window& in : ws) {
+    bool known = false;
+    for (const Window& o : offered) {
+      known |= in.SameSpan(o) && in.mi == o.mi;
+    }
+    ASSERT_TRUE(known) << in.ToString();
+  }
+  // (c) The strongest offered window can never be evicted (eviction
+  // requires strictly higher MI), so it must be a member.
+  const Window* best = &offered[0];
+  for (const Window& o : offered) {
+    if (o.mi > best->mi) best = &o;
+  }
+  bool present = false;
+  for (const Window& in : ws) present |= in.SameSpan(*best);
+  ASSERT_TRUE(present) << best->ToString();
+}
+
+TEST(MergeOverlappingPropertyTest, IdempotentAndCoveragePreserving) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Window> ws;
+    for (int i = 0; i < 30; ++i) {
+      const int64_t s = rng.UniformInt(0, 150);
+      ws.push_back(Window(s, s + rng.UniformInt(0, 40),
+                          rng.UniformInt(0, 1)));
+    }
+    const auto merged = MergeOverlapping(ws);
+    const auto twice = MergeOverlapping(merged);
+    ASSERT_EQ(merged.size(), twice.size());
+    // Index coverage per delay is preserved.
+    auto covered = [](const std::vector<Window>& v, int64_t idx,
+                      int64_t tau) {
+      for (const Window& w : v) {
+        if (w.delay == tau && w.start <= idx && idx <= w.end) return true;
+      }
+      return false;
+    };
+    for (int64_t idx = 0; idx < 200; idx += 7) {
+      for (int64_t tau = 0; tau <= 1; ++tau) {
+        ASSERT_EQ(covered(ws, idx, tau), covered(merged, idx, tau))
+            << "idx=" << idx << " tau=" << tau;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Brute force: the incremental evaluator path at large s_max must agree
+// with stateless batch evaluation window for window.
+// ---------------------------------------------------------------------------
+
+TEST(BruteForcePropertyTest, LargeWindowIncrementalAgreesWithBatch) {
+  const datagen::SyntheticDataset ds = datagen::ComposeDataset(
+      {datagen::SegmentSpec{datagen::RelationType::kLinear, 150, 1}},
+      /*gap=*/60, /*seed=*/6);
+  TycosParams p;
+  p.sigma = 0.55;
+  p.s_min = 100;  // above the hybrid evaluator's stateless threshold
+  p.s_max = 160;
+  p.td_max = 2;
+  const BruteForceResult inc =
+      BruteForceSearch(ds.pair, p, /*use_incremental_mi=*/true).Run();
+  const BruteForceResult batch =
+      BruteForceSearch(ds.pair, p, /*use_incremental_mi=*/false).Run();
+  ASSERT_EQ(inc.raw.size(), batch.raw.size());
+  for (size_t i = 0; i < inc.raw.size(); ++i) {
+    ASSERT_TRUE(inc.raw[i].SameSpan(batch.raw[i]));
+    ASSERT_NEAR(inc.raw[i].mi, batch.raw[i].mi, 1e-9);
+  }
+  ASSERT_EQ(inc.windows_evaluated, batch.windows_evaluated);
+}
+
+}  // namespace
+}  // namespace tycos

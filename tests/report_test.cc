@@ -1,0 +1,110 @@
+#include "io/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/relations.h"
+
+namespace tycos {
+namespace {
+
+using datagen::ComposeDataset;
+using datagen::RelationType;
+using datagen::SegmentSpec;
+using datagen::SyntheticDataset;
+
+struct Rendered {
+  SyntheticDataset ds;
+  WindowSet windows;
+  TycosStats stats;
+  TycosParams params;
+};
+
+Rendered MakeRun() {
+  Rendered r{ComposeDataset({SegmentSpec{RelationType::kLinear, 150, 4}},
+                            /*gap=*/150, /*seed=*/1),
+             {},
+             {},
+             {}};
+  r.params.sigma = 0.5;
+  r.params.s_min = 24;
+  r.params.s_max = 300;
+  r.params.td_max = 16;
+  Tycos search(r.ds.pair, r.params, TycosVariant::kLMN);
+  r.windows = search.Run();
+  r.stats = search.stats();
+  return r;
+}
+
+TEST(RenderReportTest, ContainsAllSections) {
+  const Rendered r = MakeRun();
+  const std::string md =
+      RenderReport(r.ds.pair, r.params, r.windows, r.stats);
+  EXPECT_NE(md.find("# TYCOS correlation report"), std::string::npos);
+  EXPECT_NE(md.find("## Parameters"), std::string::npos);
+  EXPECT_NE(md.find("## Windows"), std::string::npos);
+  EXPECT_NE(md.find("## Search statistics"), std::string::npos);
+  EXPECT_NE(md.find("| sigma | 0.5 |"), std::string::npos);
+}
+
+TEST(RenderReportTest, ListsEveryWindow) {
+  const Rendered r = MakeRun();
+  ASSERT_FALSE(r.windows.empty());
+  const std::string md =
+      RenderReport(r.ds.pair, r.params, r.windows, r.stats);
+  for (const Window& w : r.windows.windows()) {
+    std::ostringstream cell;
+    cell << "[" << w.start << ", " << w.end << "]";
+    EXPECT_NE(md.find(cell.str()), std::string::npos) << cell.str();
+  }
+}
+
+TEST(RenderReportTest, EmptyResultIsStated) {
+  const Rendered r = MakeRun();
+  const std::string md =
+      RenderReport(r.ds.pair, r.params, WindowSet(), r.stats);
+  EXPECT_NE(md.find("No correlated windows"), std::string::npos);
+}
+
+TEST(RenderReportTest, TimeUnitsWhenSamplingKnown) {
+  const Rendered r = MakeRun();
+  ReportOptions opt;
+  opt.seconds_per_sample = 300.0;  // 5-minute samples
+  const std::string md =
+      RenderReport(r.ds.pair, r.params, r.windows, r.stats, opt);
+  EXPECT_NE(md.find(" when | lag |"), std::string::npos);
+  // Positions land in the hour range for this dataset (5-min samples,
+  // windows starting hundreds of samples in).
+  EXPECT_NE(md.find(" h "), std::string::npos);
+}
+
+TEST(RenderReportTest, MentionsTheilerWindowOnlyWhenSet) {
+  const Rendered r = MakeRun();
+  EXPECT_EQ(RenderReport(r.ds.pair, r.params, r.windows, r.stats)
+                .find("theiler"),
+            std::string::npos);
+  TycosParams with = r.params;
+  with.theiler_window = 8;
+  EXPECT_NE(RenderReport(r.ds.pair, with, r.windows, r.stats)
+                .find("| theiler window | 8 |"),
+            std::string::npos);
+}
+
+TEST(WriteReportTest, WritesFile) {
+  const Rendered r = MakeRun();
+  const std::string path = ::testing::TempDir() + "/tycos_report.md";
+  ASSERT_TRUE(
+      WriteReport(path, r.ds.pair, r.params, r.windows, r.stats).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("## Windows"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tycos

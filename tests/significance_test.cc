@@ -1,0 +1,108 @@
+#include "search/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/relations.h"
+
+namespace tycos {
+namespace {
+
+using datagen::ComposeDataset;
+using datagen::RelationType;
+using datagen::SegmentSpec;
+using datagen::SyntheticDataset;
+
+TEST(WindowPValueTest, RealRelationIsHighlySignificant) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 200, 10}}, /*gap=*/150, /*seed=*/1);
+  const Window w = ds.planted[0].AsWindow();
+  const double p = WindowPValue(ds.pair, w);
+  // 99 surrogates: the smallest achievable p is 0.01, and a genuine
+  // relation must reach it.
+  EXPECT_DOUBLE_EQ(p, 0.01);
+}
+
+TEST(WindowPValueTest, NoiseWindowIsNotSignificant) {
+  Rng rng(2);
+  std::vector<double> x(600), y(600);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  const SeriesPair pair{TimeSeries(std::move(x)), TimeSeries(std::move(y))};
+  const double p = WindowPValue(pair, Window(100, 300, 0));
+  EXPECT_GT(p, 0.05);
+}
+
+TEST(WindowPValueTest, NoisePValuesAreRoughlyUniform) {
+  // Under the null, p-values must not cluster near 0: across windows of
+  // independent noise the median should sit mid-range.
+  Rng rng(3);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  const SeriesPair pair{TimeSeries(std::move(x)), TimeSeries(std::move(y))};
+  SignificanceOptions opt;
+  opt.permutations = 39;  // cheaper per-window, 10 windows
+  std::vector<double> ps;
+  for (int64_t s = 0; s < 1500; s += 150) {
+    ps.push_back(WindowPValue(pair, Window(s, s + 120, 0), opt));
+  }
+  std::sort(ps.begin(), ps.end());
+  EXPECT_GT(ps[ps.size() / 2], 0.15);  // median well away from 0
+  int tiny = 0;
+  for (double p : ps) tiny += p <= 0.05 ? 1 : 0;
+  EXPECT_LE(tiny, 2);  // at most ~alpha of them look significant
+}
+
+TEST(WindowPValueTest, TooSmallWindowReturnsOne) {
+  Rng rng(4);
+  std::vector<double> x(50), y(50);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  const SeriesPair pair{TimeSeries(std::move(x)), TimeSeries(std::move(y))};
+  EXPECT_DOUBLE_EQ(WindowPValue(pair, Window(0, 3, 0)), 1.0);
+}
+
+TEST(FilterSignificantTest, KeepsRealDropsBorderline) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 200, 4}}, /*gap=*/300, /*seed=*/5);
+  WindowSet mixed;
+  Window real = ds.planted[0].AsWindow();
+  real.mi = 0.9;
+  mixed.Insert(real);
+  // A window over pure noise, pretending it cleared sigma.
+  Window fake(0, 150, 0, 0.6);
+  mixed.Insert(fake);
+
+  const WindowSet kept = FilterSignificant(ds.pair, mixed, /*alpha=*/0.02);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(kept.windows()[0].SameSpan(real));
+}
+
+TEST(FilterSignificantTest, EmptyInEmptyOut) {
+  Rng rng(6);
+  std::vector<double> x(100), y(100);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  const SeriesPair pair{TimeSeries(std::move(x)), TimeSeries(std::move(y))};
+  EXPECT_TRUE(FilterSignificant(pair, WindowSet(), 0.05).empty());
+}
+
+TEST(WindowPValueTest, DeterministicForFixedSeed) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kQuadratic, 150, 0}}, /*gap=*/150,
+      /*seed=*/7);
+  const Window w(100, 260, 0);
+  EXPECT_DOUBLE_EQ(WindowPValue(ds.pair, w), WindowPValue(ds.pair, w));
+}
+
+}  // namespace
+}  // namespace tycos

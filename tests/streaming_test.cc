@@ -1,0 +1,123 @@
+#include "search/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/window_similarity.h"
+#include "datagen/relations.h"
+
+namespace tycos {
+namespace {
+
+using datagen::ComposeDataset;
+using datagen::RelationType;
+using datagen::SegmentSpec;
+using datagen::SyntheticDataset;
+
+TycosParams Params() {
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 24;
+  p.s_max = 300;
+  p.td_max = 16;
+  return p;
+}
+
+// Feeds the pair to a StreamingTycos in chunks of `chunk` samples.
+StreamingTycos StreamAll(const SeriesPair& pair, int64_t chunk,
+                         const TycosParams& params) {
+  StreamingTycos stream(params, TycosVariant::kLMN);
+  const auto& xs = pair.x().values();
+  const auto& ys = pair.y().values();
+  for (size_t at = 0; at < xs.size(); at += static_cast<size_t>(chunk)) {
+    const size_t end = std::min(xs.size(), at + static_cast<size_t>(chunk));
+    stream.Append({xs.begin() + at, xs.begin() + end},
+                  {ys.begin() + at, ys.begin() + end});
+  }
+  stream.Flush();
+  return stream;
+}
+
+TEST(StreamingTycosTest, FindsRelationsAcrossChunkBoundaries) {
+  // Two planted relations; chunk size chosen so the first straddles a
+  // boundary.
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 200, 4},
+       SegmentSpec{RelationType::kSine, 200, 10}},
+      /*gap=*/250, /*seed=*/1);
+  StreamingTycos stream = StreamAll(ds.pair, 300, Params());
+  EXPECT_EQ(stream.samples_seen(), ds.pair.size());
+  for (const auto& planted : ds.planted) {
+    bool covered = false;
+    for (const Window& w : stream.results().windows()) {
+      covered |= IndexJaccard(w, planted.AsWindow()) > 0.25;
+    }
+    EXPECT_TRUE(covered) << datagen::RelationTypeName(planted.type);
+  }
+}
+
+TEST(StreamingTycosTest, MatchesBatchSearchCoverage) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kQuadratic, 200, 8},
+       SegmentSpec{RelationType::kCross, 200, 0}},
+      /*gap=*/300, /*seed=*/2);
+  const WindowSet batch = Tycos(ds.pair, Params(), TycosVariant::kLMN).Run();
+  StreamingTycos stream = StreamAll(ds.pair, 400, Params());
+  ASSERT_FALSE(batch.empty());
+  // The streamed result must cover what the batch search covers.
+  EXPECT_GE(CoverageRecallPercent(batch.windows(),
+                                  stream.results().windows()),
+            50.0);
+}
+
+TEST(StreamingTycosTest, MemoryStaysBounded) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 150, 0},
+       SegmentSpec{RelationType::kSine, 150, 0},
+       SegmentSpec{RelationType::kQuadratic, 150, 0},
+       SegmentSpec{RelationType::kCross, 150, 0}},
+      /*gap=*/400, /*seed=*/3);
+  const TycosParams p = Params();
+  StreamingTycos stream = StreamAll(ds.pair, 200, p);
+  // Retained tail never exceeds margin (s_max + td_max) + trigger + chunk.
+  EXPECT_LE(stream.retained_samples(),
+            p.s_max + p.td_max + 2 * p.s_max + 200);
+  EXPECT_GT(stream.search_passes(), 2);
+}
+
+TEST(StreamingTycosTest, PureNoiseStreamYieldsNothing) {
+  const SyntheticDataset ds =
+      ComposeDataset({SegmentSpec{RelationType::kIndependent, 1200, 0}},
+                     /*gap=*/100, /*seed=*/4);
+  StreamingTycos stream = StreamAll(ds.pair, 250, Params());
+  EXPECT_TRUE(stream.results().empty());
+}
+
+TEST(StreamingTycosTest, FlushHandlesShortTail) {
+  StreamingTycos stream(Params(), TycosVariant::kLMN);
+  std::vector<double> xs(10, 0.5), ys(10, 0.25);
+  stream.Append(xs, ys);  // below s_min: nothing searchable
+  stream.Flush();
+  EXPECT_TRUE(stream.results().empty());
+  EXPECT_EQ(stream.samples_seen(), 10);
+}
+
+TEST(StreamingTycosTest, ResultsAreInGlobalCoordinates) {
+  // Single relation late in the stream: its window's global indices must
+  // land on the planted location even though the buffer was trimmed.
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kIndependent, 900, 0},
+       SegmentSpec{RelationType::kLinear, 200, 0}},
+      /*gap=*/150, /*seed=*/5);
+  StreamingTycos stream = StreamAll(ds.pair, 300, Params());
+  const Window truth = ds.planted[1].AsWindow();
+  bool covered = false;
+  for (const Window& w : stream.results().windows()) {
+    covered |= IndexJaccard(w, truth) > 0.25;
+    EXPECT_GE(w.start, 0);
+    EXPECT_LT(w.end, ds.pair.size());
+  }
+  EXPECT_TRUE(covered);
+}
+
+}  // namespace
+}  // namespace tycos

@@ -1,0 +1,160 @@
+// Tests for the Theiler-window (dynamic correlation exclusion) extension of
+// the KSG estimator: autocorrelated but unrelated series must stop looking
+// dependent, while genuine relations keep their MI.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/relations.h"
+#include "mi/ksg.h"
+#include "search/tycos.h"
+
+namespace tycos {
+namespace {
+
+// A smooth (reflected random walk) series: heavy serial correlation.
+std::vector<double> SmoothWalk(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  double w = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    w += rng.Normal(0.0, 0.1);
+    if (w > 1.0) w = 2.0 - w;
+    if (w < -1.0) w = -2.0 - w;
+    v[static_cast<size_t>(i)] = w;
+  }
+  return v;
+}
+
+TEST(TheilerKsgTest, KillsTrajectoryManifoldArtifact) {
+  // Independent smooth walks: the plain estimator reports positive "MI"
+  // (temporal neighbours trace a 1-D curve). With a Theiler window of the
+  // walk's decorrelation scale (~66 steps) and a window several times that,
+  // the worst case over many draws collapses towards zero.
+  double inflated_max = 0.0, honest_max = 0.0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto x = SmoothWalk(500, seed);
+    const auto y = SmoothWalk(500, seed + 100);
+    KsgOptions plain;
+    inflated_max = std::max(inflated_max, KsgMi(x, y, plain));
+    KsgOptions corrected;
+    corrected.theiler_window = 50;
+    honest_max = std::max(honest_max, KsgMi(x, y, corrected));
+  }
+  EXPECT_GT(inflated_max, 0.25);  // the artifact this feature exists to fix
+  EXPECT_LT(honest_max, 0.15);
+  EXPECT_LT(honest_max, 0.5 * inflated_max);
+}
+
+TEST(TheilerKsgTest, PreservesGenuineRelationOnIidData) {
+  // On serially-independent data the exclusion removes almost nothing.
+  Rng rng(3);
+  std::vector<double> xs(600), ys(600);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Uniform(-2, 2);
+    ys[i] = std::sin(3.0 * xs[i]) + 0.05 * rng.Normal();
+  }
+  KsgOptions plain;
+  KsgOptions corrected;
+  corrected.theiler_window = 10;
+  const double a = KsgMi(xs, ys, plain);
+  const double b = KsgMi(xs, ys, corrected);
+  EXPECT_GT(b, 1.0);
+  EXPECT_NEAR(a, b, 0.35);
+}
+
+TEST(TheilerKsgTest, PreservesGenuineRelationOnSmoothData) {
+  // y is a function of a smooth x: real dependence must survive exclusion.
+  const auto x = SmoothWalk(400, 4);
+  std::vector<double> y(x.size());
+  Rng rng(5);
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] * x[i] + 0.02 * rng.Normal();
+  }
+  KsgOptions corrected;
+  corrected.theiler_window = 50;
+  EXPECT_GT(KsgMi(x, y, corrected), 1.0);
+}
+
+TEST(TheilerKsgTest, TooFewEligibleSamplesReturnsZero) {
+  const auto x = SmoothWalk(50, 6);
+  const auto y = SmoothWalk(50, 7);
+  KsgOptions o;
+  o.theiler_window = 25;  // excludes (almost) everything
+  EXPECT_DOUBLE_EQ(KsgMi(x, y, o), 0.0);
+}
+
+TEST(TheilerKsgTest, ZeroWindowMatchesPlainEstimatorPath) {
+  Rng rng(8);
+  std::vector<double> xs(300), ys(300);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Normal();
+    ys[i] = 0.6 * xs[i] + rng.Normal();
+  }
+  KsgOptions plain;
+  KsgOptions zero;
+  zero.theiler_window = 0;
+  EXPECT_DOUBLE_EQ(KsgMi(xs, ys, plain), KsgMi(xs, ys, zero));
+}
+
+TEST(TheilerParamsTest, ValidationCouplesWindowAndSmin) {
+  TycosParams p;
+  p.theiler_window = 10;
+  p.s_min = 24;  // < 2*10 + 4 + 3
+  EXPECT_FALSE(p.Validate(10000).ok());
+  p.s_min = 2 * 10 + p.k + 3;
+  EXPECT_TRUE(p.Validate(10000).ok());
+  p.theiler_window = -1;
+  EXPECT_FALSE(p.Validate(10000).ok());
+}
+
+TEST(TheilerSearchTest, ReducesSpuriousWindowsOnSmoothNoise) {
+  // Two unrelated smooth series. The exclusion removes the local
+  // trajectory-manifold inflation, so the corrected search reports no more
+  // (and typically weaker) windows than the plain one. It cannot reach
+  // zero here: integrated (random-walk) series also co-trend over long
+  // stretches — genuine sample correlation that no estimator fix removes
+  // (the classic spurious-regression effect; differencing is the remedy).
+  const int64_t n = 3000;
+  SeriesPair pair{TimeSeries(SmoothWalk(n, 10)), TimeSeries(SmoothWalk(n, 11))};
+
+  TycosParams plain;
+  plain.sigma = 0.5;
+  plain.s_min = 400;
+  plain.s_max = 700;
+  plain.td_max = 16;
+  const WindowSet spurious = Tycos(pair, plain, TycosVariant::kLMN).Run();
+  EXPECT_FALSE(spurious.empty());  // the artifact
+
+  TycosParams corrected = plain;
+  corrected.theiler_window = 150;
+  const WindowSet clean = Tycos(pair, corrected, TycosVariant::kLMN).Run();
+  EXPECT_LE(clean.size(), spurious.size());
+}
+
+TEST(TheilerSearchTest, StillFindsRealRelationOnSmoothData) {
+  // Walk-sampled planted relation: the corrected search must keep finding
+  // it (real dependence survives temporal exclusion).
+  const datagen::SyntheticDataset ds = datagen::ComposeDataset(
+      {datagen::SegmentSpec{datagen::RelationType::kQuadratic, 400, 0}},
+      /*gap=*/300, /*seed=*/12, datagen::XSampling::kRandomWalk);
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 64;
+  p.s_max = 500;
+  p.td_max = 8;
+  p.theiler_window = 25;
+  const WindowSet result = Tycos(ds.pair, p, TycosVariant::kLMN).Run();
+  ASSERT_FALSE(result.empty());
+  bool covered = false;
+  for (const Window& w : result.windows()) {
+    covered |= Overlaps(w, ds.planted[0].AsWindow());
+  }
+  EXPECT_TRUE(covered);
+}
+
+}  // namespace
+}  // namespace tycos

@@ -1,0 +1,77 @@
+#include "core/time_series.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+
+namespace tycos {
+namespace {
+
+TEST(TimeSeriesTest, ConstructionAndAccess) {
+  TimeSeries ts({1.0, 2.0, 3.0}, "temp");
+  EXPECT_EQ(ts.size(), 3);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts[0], 1.0);
+  EXPECT_DOUBLE_EQ(ts[2], 3.0);
+  EXPECT_EQ(ts.name(), "temp");
+}
+
+TEST(TimeSeriesTest, DefaultIsEmpty) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0);
+}
+
+TEST(TimeSeriesTest, Append) {
+  TimeSeries ts;
+  ts.Append(1.5);
+  ts.Append(-2.5);
+  EXPECT_EQ(ts.size(), 2);
+  EXPECT_DOUBLE_EQ(ts[1], -2.5);
+}
+
+TEST(TimeSeriesTest, SliceInclusiveBounds) {
+  TimeSeries ts({0.0, 1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(ts.Slice(1, 3), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(ts.Slice(0, 0), (std::vector<double>{0.0}));
+  EXPECT_EQ(ts.Slice(4, 4), (std::vector<double>{4.0}));
+}
+
+TEST(TimeSeriesTest, ZNormalizedHasZeroMeanUnitVariance) {
+  TimeSeries ts({1.0, 2.0, 3.0, 4.0, 10.0});
+  const TimeSeries z = ts.ZNormalized();
+  EXPECT_NEAR(Mean(z.values()), 0.0, 1e-12);
+  EXPECT_NEAR(Variance(z.values()), 1.0, 1e-12);
+  EXPECT_EQ(z.name(), ts.name());
+}
+
+TEST(TimeSeriesTest, ZNormalizedConstantSeriesIsZeros) {
+  TimeSeries ts({7.0, 7.0, 7.0});
+  const TimeSeries z = ts.ZNormalized();
+  for (int64_t i = 0; i < z.size(); ++i) EXPECT_DOUBLE_EQ(z[i], 0.0);
+}
+
+TEST(TimeSeriesTest, SetName) {
+  TimeSeries ts;
+  ts.set_name("wind");
+  EXPECT_EQ(ts.name(), "wind");
+}
+
+TEST(SeriesPairTest, HoldsBothSeries) {
+  SeriesPair pair(TimeSeries({1.0, 2.0}, "a"), TimeSeries({3.0, 4.0}, "b"));
+  EXPECT_EQ(pair.size(), 2);
+  EXPECT_DOUBLE_EQ(pair.x()[0], 1.0);
+  EXPECT_DOUBLE_EQ(pair.y()[1], 4.0);
+  EXPECT_EQ(pair.x().name(), "a");
+  EXPECT_EQ(pair.y().name(), "b");
+}
+
+TEST(SeriesPairTest, DefaultIsEmpty) {
+  SeriesPair pair;
+  EXPECT_EQ(pair.size(), 0);
+}
+
+}  // namespace
+}  // namespace tycos

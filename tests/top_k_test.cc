@@ -1,0 +1,63 @@
+#include "search/top_k.h"
+
+#include <gtest/gtest.h>
+
+namespace tycos {
+namespace {
+
+TEST(TopKFilterTest, SigmaIsZeroUntilFull) {
+  TopKFilter f(3);
+  EXPECT_DOUBLE_EQ(f.CurrentSigma(), 0.0);
+  f.Offer(Window(0, 10, 0, 0.5));
+  f.Offer(Window(20, 30, 0, 0.4));
+  EXPECT_FALSE(f.full());
+  EXPECT_DOUBLE_EQ(f.CurrentSigma(), 0.0);
+  f.Offer(Window(40, 50, 0, 0.3));
+  EXPECT_TRUE(f.full());
+  EXPECT_DOUBLE_EQ(f.CurrentSigma(), 0.3);
+}
+
+TEST(TopKFilterTest, WeakerOfferRejectedWhenFull) {
+  TopKFilter f(2);
+  f.Offer(Window(0, 10, 0, 0.5));
+  f.Offer(Window(20, 30, 0, 0.4));
+  EXPECT_FALSE(f.Offer(Window(40, 50, 0, 0.2)));
+  EXPECT_EQ(f.windows().size(), 2u);
+  EXPECT_DOUBLE_EQ(f.CurrentSigma(), 0.4);
+}
+
+TEST(TopKFilterTest, StrongerOfferEvictsWeakest) {
+  TopKFilter f(2);
+  f.Offer(Window(0, 10, 0, 0.5));
+  f.Offer(Window(20, 30, 0, 0.4));
+  EXPECT_TRUE(f.Offer(Window(40, 50, 0, 0.9)));
+  EXPECT_DOUBLE_EQ(f.CurrentSigma(), 0.5);  // 0.4 evicted
+  EXPECT_EQ(f.windows().size(), 2u);
+  EXPECT_DOUBLE_EQ(f.windows()[0].mi, 0.9);  // sorted descending
+}
+
+TEST(TopKFilterTest, NestedWindowReplacesOnlyOnHigherScore) {
+  TopKFilter f(5);
+  f.Offer(Window(0, 20, 0, 0.6));
+  EXPECT_FALSE(f.Offer(Window(5, 15, 0, 0.5)));  // nested, weaker
+  EXPECT_EQ(f.windows().size(), 1u);
+  EXPECT_TRUE(f.Offer(Window(5, 15, 0, 0.8)));  // nested, stronger
+  ASSERT_EQ(f.windows().size(), 1u);
+  EXPECT_EQ(f.windows()[0].start, 5);
+}
+
+TEST(TopKFilterTest, SigmaRisesMonotonically) {
+  TopKFilter f(3);
+  double prev = f.CurrentSigma();
+  Window offers[] = {Window(0, 10, 0, 0.2), Window(20, 30, 0, 0.3),
+                     Window(40, 50, 0, 0.25), Window(60, 70, 0, 0.5),
+                     Window(80, 90, 0, 0.6), Window(100, 110, 0, 0.1)};
+  for (const Window& w : offers) {
+    f.Offer(w);
+    EXPECT_GE(f.CurrentSigma(), prev);
+    prev = f.CurrentSigma();
+  }
+}
+
+}  // namespace
+}  // namespace tycos

@@ -1,0 +1,262 @@
+#include "search/tycos.h"
+
+#include <gtest/gtest.h>
+
+#include "core/window_similarity.h"
+#include "datagen/relations.h"
+
+namespace tycos {
+namespace {
+
+using datagen::ComposeDataset;
+using datagen::RelationType;
+using datagen::SegmentSpec;
+using datagen::SyntheticDataset;
+
+TycosParams TestParams() {
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 24;
+  p.s_max = 320;
+  p.td_max = 32;
+  p.delta = 4;
+  p.k = 4;
+  p.max_idle = 8;
+  return p;
+}
+
+bool AnyWindowCovers(const WindowSet& set, const Window& truth,
+                     double min_jaccard = 0.3) {
+  for (const Window& w : set.windows()) {
+    if (IndexJaccard(w, truth) >= min_jaccard) return true;
+  }
+  return false;
+}
+
+TEST(TycosParamsTest, ValidateAcceptsDefaults) {
+  TycosParams p;
+  EXPECT_TRUE(p.Validate(10000).ok());
+}
+
+TEST(TycosParamsTest, ValidateRejectsBadValues) {
+  TycosParams p;
+  p.sigma = 0.0;
+  EXPECT_FALSE(p.Validate(1000).ok());
+  p = TycosParams();
+  p.s_min = 3;  // < k + 2
+  EXPECT_FALSE(p.Validate(1000).ok());
+  p = TycosParams();
+  p.s_max = 2000;
+  EXPECT_FALSE(p.Validate(1000).ok());
+  p = TycosParams();
+  p.epsilon_ratio = 1.0;
+  EXPECT_FALSE(p.Validate(1000).ok());
+  p = TycosParams();
+  p.td_max = -1;
+  EXPECT_FALSE(p.Validate(1000).ok());
+  p = TycosParams();
+  p.delta = 0;
+  EXPECT_FALSE(p.Validate(1000).ok());
+}
+
+TEST(TycosParamsTest, EpsilonDerivedFromSigma) {
+  TycosParams p;
+  p.sigma = 0.4;
+  p.epsilon_ratio = 0.25;
+  EXPECT_DOUBLE_EQ(p.epsilon(), 0.1);
+}
+
+TEST(TycosVariantTest, Names) {
+  EXPECT_STREQ(TycosVariantName(TycosVariant::kL), "TYCOS_L");
+  EXPECT_STREQ(TycosVariantName(TycosVariant::kLN), "TYCOS_LN");
+  EXPECT_STREQ(TycosVariantName(TycosVariant::kLM), "TYCOS_LM");
+  EXPECT_STREQ(TycosVariantName(TycosVariant::kLMN), "TYCOS_LMN");
+}
+
+class TycosVariantRunTest : public ::testing::TestWithParam<TycosVariant> {};
+
+TEST_P(TycosVariantRunTest, FindsAlignedPlantedRelation) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 150, 0}}, /*gap=*/200, /*seed=*/1);
+  Tycos search(ds.pair, TestParams(), GetParam());
+  const WindowSet result = search.Run();
+  ASSERT_FALSE(result.empty()) << TycosVariantName(GetParam());
+  EXPECT_TRUE(AnyWindowCovers(result, ds.planted[0].AsWindow()))
+      << TycosVariantName(GetParam());
+}
+
+TEST_P(TycosVariantRunTest, FindsNonLinearRelation) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kCircle, 150, 0}}, /*gap=*/200, /*seed=*/2);
+  Tycos search(ds.pair, TestParams(), GetParam());
+  const WindowSet result = search.Run();
+  EXPECT_TRUE(AnyWindowCovers(result, ds.planted[0].AsWindow()))
+      << TycosVariantName(GetParam());
+}
+
+TEST_P(TycosVariantRunTest, PureNoiseYieldsNothing) {
+  const SyntheticDataset ds =
+      ComposeDataset({SegmentSpec{RelationType::kIndependent, 500, 0}},
+                     /*gap=*/100, /*seed=*/3);
+  Tycos search(ds.pair, TestParams(), GetParam());
+  const WindowSet result = search.Run();
+  EXPECT_TRUE(result.empty()) << TycosVariantName(GetParam());
+}
+
+TEST_P(TycosVariantRunTest, ResultWindowsRespectConstraints) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 200, 8},
+       SegmentSpec{RelationType::kQuadratic, 150, 0}},
+      /*gap=*/150, /*seed=*/4);
+  const TycosParams p = TestParams();
+  Tycos search(ds.pair, p, GetParam());
+  const WindowSet result = search.Run();
+  for (const Window& w : result.windows()) {
+    EXPECT_TRUE(IsFeasible(w, ds.pair.size(), p.s_min, p.s_max, p.td_max))
+        << w.ToString();
+    EXPECT_GE(w.mi, p.sigma);
+  }
+  // Non-nesting invariant.
+  const auto& ws = result.windows();
+  for (size_t i = 0; i < ws.size(); ++i) {
+    for (size_t j = 0; j < ws.size(); ++j) {
+      if (i != j) EXPECT_FALSE(Contains(ws[i], ws[j]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, TycosVariantRunTest,
+                         ::testing::Values(TycosVariant::kL, TycosVariant::kLN,
+                                           TycosVariant::kLM,
+                                           TycosVariant::kLMN),
+                         [](const auto& info) {
+                           return std::string(TycosVariantName(info.param))
+                                      .substr(6);  // strip "TYCOS_"
+                         });
+
+TEST(TycosTest, NoiseVariantFindsDelayedRelation) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kQuadratic, 200, 24}}, /*gap=*/200,
+      /*seed=*/5);
+  Tycos search(ds.pair, TestParams(), TycosVariant::kLMN);
+  const WindowSet result = search.Run();
+  ASSERT_FALSE(result.empty());
+  bool found = false;
+  for (const Window& w : result.windows()) {
+    if (IndexJaccard(w, ds.planted[0].AsWindow()) >= 0.3 &&
+        std::llabs(w.delay - 24) <= 8) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TycosTest, DeterministicForFixedSeed) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 120, 4}}, /*gap=*/150, /*seed=*/6);
+  Tycos a(ds.pair, TestParams(), TycosVariant::kLMN, /*seed=*/99);
+  Tycos b(ds.pair, TestParams(), TycosVariant::kLMN, /*seed=*/99);
+  const auto ra = a.Run().Sorted();
+  const auto rb = b.Run().Sorted();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_TRUE(ra[i].SameSpan(rb[i]));
+    EXPECT_DOUBLE_EQ(ra[i].mi, rb[i].mi);
+  }
+}
+
+TEST(TycosTest, IncrementalAndBatchVariantsAgreeOnScores) {
+  // kL and kLM explore identically (same RNG stream, same scores) because
+  // the incremental estimator is exact; their outputs must match.
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 150, 0}}, /*gap=*/150, /*seed=*/7);
+  Tycos l(ds.pair, TestParams(), TycosVariant::kL, 5);
+  Tycos lm(ds.pair, TestParams(), TycosVariant::kLM, 5);
+  const auto rl = l.Run().Sorted();
+  const auto rlm = lm.Run().Sorted();
+  ASSERT_EQ(rl.size(), rlm.size());
+  for (size_t i = 0; i < rl.size(); ++i) {
+    EXPECT_TRUE(rl[i].SameSpan(rlm[i]));
+    EXPECT_NEAR(rl[i].mi, rlm[i].mi, 1e-9);
+  }
+}
+
+TEST(TycosTest, HigherSigmaFindsFewerWindows) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 150, 0},
+       SegmentSpec{RelationType::kSine, 150, 0},
+       SegmentSpec{RelationType::kQuadratic, 150, 0}},
+      /*gap=*/120, /*seed=*/8);
+  TycosParams lo = TestParams();
+  lo.sigma = 0.45;
+  TycosParams hi = TestParams();
+  hi.sigma = 0.85;
+  const auto r_lo = Tycos(ds.pair, lo, TycosVariant::kLMN).Run();
+  const auto r_hi = Tycos(ds.pair, hi, TycosVariant::kLMN).Run();
+  EXPECT_GE(r_lo.size(), r_hi.size());
+}
+
+TEST(TycosTest, TopKModeReturnsAtMostKWindows) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 120, 0},
+       SegmentSpec{RelationType::kSine, 120, 0},
+       SegmentSpec{RelationType::kQuadratic, 120, 0}},
+      /*gap=*/100, /*seed=*/9);
+  TycosParams p = TestParams();
+  p.top_k = 2;
+  const WindowSet result = Tycos(ds.pair, p, TycosVariant::kLMN).Run();
+  EXPECT_LE(result.size(), 2u);
+  EXPECT_GE(result.size(), 1u);
+}
+
+TEST(TycosTest, StatsArePopulated) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 120, 0}}, /*gap=*/150, /*seed=*/10);
+  Tycos search(ds.pair, TestParams(), TycosVariant::kLMN);
+  const WindowSet result = search.Run();
+  const TycosStats& st = search.stats();
+  EXPECT_GT(st.climbs, 0);
+  EXPECT_GT(st.mi_evaluations, 0);
+  EXPECT_EQ(st.windows_found, static_cast<int64_t>(result.size()));
+}
+
+TEST(TycosTest, CachingReducesEstimatorCalls) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 150, 0}}, /*gap=*/150, /*seed=*/11);
+  TycosParams with_cache = TestParams();
+  with_cache.cache_evaluations = true;
+  TycosParams no_cache = TestParams();
+  no_cache.cache_evaluations = false;
+  Tycos a(ds.pair, with_cache, TycosVariant::kL, 3);
+  Tycos b(ds.pair, no_cache, TycosVariant::kL, 3);
+  a.Run();
+  b.Run();
+  EXPECT_GT(a.stats().cache_hits, 0);
+  EXPECT_LT(a.stats().mi_evaluations, b.stats().mi_evaluations);
+}
+
+TEST(TycosTest, NoiseVariantPrunesDirections) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 150, 0}}, /*gap=*/250, /*seed=*/12);
+  Tycos search(ds.pair, TestParams(), TycosVariant::kLN);
+  search.Run();
+  EXPECT_GT(search.stats().noise_blocked, 0);
+}
+
+TEST(TycosTest, MultipleRelationsAllRecovered) {
+  const SyntheticDataset ds = ComposeDataset(
+      {SegmentSpec{RelationType::kLinear, 150, 0},
+       SegmentSpec{RelationType::kSine, 150, 10},
+       SegmentSpec{RelationType::kQuadratic, 150, 20}},
+      /*gap=*/150, /*seed=*/13);
+  Tycos search(ds.pair, TestParams(), TycosVariant::kLMN);
+  const WindowSet result = search.Run();
+  int recovered = 0;
+  for (const auto& planted : ds.planted) {
+    if (AnyWindowCovers(result, planted.AsWindow())) ++recovered;
+  }
+  EXPECT_GE(recovered, 2);  // at least 2 of 3 (heuristic search)
+}
+
+}  // namespace
+}  // namespace tycos

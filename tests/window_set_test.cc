@@ -1,0 +1,128 @@
+#include "core/window_set.h"
+
+#include <gtest/gtest.h>
+
+namespace tycos {
+namespace {
+
+TEST(WindowSetTest, InsertDisjointWindows) {
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(0, 10, 0, 0.5)));
+  EXPECT_TRUE(set.Insert(Window(20, 30, 0, 0.6)));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(WindowSetTest, RejectsExactDuplicate) {
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(0, 10, 0, 0.5)));
+  EXPECT_FALSE(set.Insert(Window(0, 10, 0, 0.9)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(WindowSetTest, NestedLowerMiIsRejected) {
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(0, 20, 0, 0.8)));
+  EXPECT_FALSE(set.Insert(Window(5, 15, 0, 0.5)));  // nested, weaker
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(WindowSetTest, NestedHigherMiEvictsIncumbent) {
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(0, 20, 0, 0.4)));
+  EXPECT_TRUE(set.Insert(Window(5, 15, 0, 0.9)));  // nested, stronger
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.windows()[0].start, 5);
+}
+
+TEST(WindowSetTest, DifferentDelaysAreNotNested) {
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(0, 20, 0, 0.8)));
+  EXPECT_TRUE(set.Insert(Window(5, 15, 3, 0.2)));  // same span but τ differs
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(WindowSetTest, OverlappingButNotNestedCoexist) {
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(0, 15, 0, 0.5)));
+  EXPECT_TRUE(set.Insert(Window(10, 25, 0, 0.5)));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(WindowSetTest, InsertEvictsMultipleNestedIncumbents) {
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(2, 6, 0, 0.3)));
+  EXPECT_TRUE(set.Insert(Window(10, 14, 0, 0.3)));
+  // A big strong window containing both incumbents evicts them.
+  EXPECT_TRUE(set.Insert(Window(0, 20, 0, 0.9)));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.windows()[0].end, 20);
+}
+
+TEST(WindowSetTest, NonNestingInvariantHolds) {
+  WindowSet set;
+  set.Insert(Window(0, 30, 0, 0.4));
+  set.Insert(Window(5, 10, 0, 0.7));
+  set.Insert(Window(12, 20, 0, 0.2));
+  set.Insert(Window(3, 25, 0, 0.5));
+  const auto& ws = set.windows();
+  for (size_t i = 0; i < ws.size(); ++i) {
+    for (size_t j = 0; j < ws.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Contains(ws[i], ws[j]))
+          << ws[i].ToString() << " contains " << ws[j].ToString();
+    }
+  }
+}
+
+TEST(WindowSetTest, SortedOrdersByStart) {
+  WindowSet set;
+  set.Insert(Window(20, 30, 0, 0.5));
+  set.Insert(Window(0, 10, 0, 0.5));
+  set.Insert(Window(40, 50, 0, 0.5));
+  const auto sorted = set.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].start, 0);
+  EXPECT_EQ(sorted[1].start, 20);
+  EXPECT_EQ(sorted[2].start, 40);
+}
+
+TEST(WindowSetTest, DelayRange) {
+  WindowSet set;
+  EXPECT_EQ(set.MinDelay(), 0);
+  EXPECT_EQ(set.MaxDelay(), 0);
+  set.Insert(Window(0, 10, -3, 0.5));
+  set.Insert(Window(20, 30, 7, 0.5));
+  EXPECT_EQ(set.MinDelay(), -3);
+  EXPECT_EQ(set.MaxDelay(), 7);
+}
+
+TEST(MergeOverlappingTest, MergesTouchingSameDelay) {
+  std::vector<Window> ws = {Window(0, 10, 0, 0.5), Window(8, 20, 0, 0.7),
+                            Window(21, 25, 0, 0.2)};
+  const auto merged = MergeOverlapping(ws);
+  // [0,10] ∪ [8,20] merges; [21,25] is adjacent (start == end+1) so the
+  // merge rule (start <= end+1) folds it in as well.
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].start, 0);
+  EXPECT_EQ(merged[0].end, 25);
+  EXPECT_DOUBLE_EQ(merged[0].mi, 0.7);  // max of constituents
+}
+
+TEST(MergeOverlappingTest, KeepsDelaysApart) {
+  std::vector<Window> ws = {Window(0, 10, 0, 0.5), Window(5, 15, 2, 0.5)};
+  const auto merged = MergeOverlapping(ws);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeOverlappingTest, DisjointStayDisjoint) {
+  std::vector<Window> ws = {Window(0, 10, 0, 0.5), Window(12, 20, 0, 0.5)};
+  const auto merged = MergeOverlapping(ws);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeOverlappingTest, EmptyInput) {
+  EXPECT_TRUE(MergeOverlapping({}).empty());
+}
+
+}  // namespace
+}  // namespace tycos

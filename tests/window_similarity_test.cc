@@ -1,0 +1,120 @@
+#include "core/window_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace tycos {
+namespace {
+
+TEST(IndexJaccardTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(IndexJaccard(Window(0, 9, 0), Window(0, 9, 5)), 1.0);
+}
+
+TEST(IndexJaccardTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(IndexJaccard(Window(0, 9, 0), Window(10, 19, 0)), 0.0);
+}
+
+TEST(IndexJaccardTest, HalfOverlap) {
+  // [0,9] vs [5,14]: intersection 5, union 15.
+  EXPECT_NEAR(IndexJaccard(Window(0, 9, 0), Window(5, 14, 0)), 5.0 / 15.0,
+              1e-12);
+}
+
+TEST(IndexJaccardTest, NestedWindow) {
+  // [0,19] vs [5,9]: intersection 5, union 20.
+  EXPECT_NEAR(IndexJaccard(Window(0, 19, 0), Window(5, 9, 0)), 0.25, 1e-12);
+}
+
+TEST(IndexJaccardTest, Symmetric) {
+  const Window a(3, 17, 0), b(10, 40, 0);
+  EXPECT_DOUBLE_EQ(IndexJaccard(a, b), IndexJaccard(b, a));
+}
+
+TEST(MeanBestJaccardTest, PerfectRecovery) {
+  std::vector<Window> ref = {Window(0, 9, 0), Window(20, 29, 0)};
+  EXPECT_DOUBLE_EQ(MeanBestJaccard(ref, ref), 1.0);
+}
+
+TEST(MeanBestJaccardTest, EmptyReference) {
+  EXPECT_DOUBLE_EQ(MeanBestJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(MeanBestJaccard({}, {Window(0, 9, 0)}), 0.0);
+}
+
+TEST(MeanBestJaccardTest, MissingWindowLowersScore) {
+  std::vector<Window> ref = {Window(0, 9, 0), Window(20, 29, 0)};
+  std::vector<Window> cand = {Window(0, 9, 0)};
+  EXPECT_DOUBLE_EQ(MeanBestJaccard(ref, cand), 0.5);
+}
+
+TEST(MatchAccuracyPercentTest, ThresholdBehaviour) {
+  std::vector<Window> ref = {Window(0, 9, 0)};
+  // Candidate overlaps 5/15 = 0.333: below 0.5 threshold, above 0.3.
+  std::vector<Window> cand = {Window(5, 14, 0)};
+  EXPECT_DOUBLE_EQ(MatchAccuracyPercent(ref, cand, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(MatchAccuracyPercent(ref, cand, 0.3), 100.0);
+}
+
+TEST(MatchAccuracyPercentTest, PartialRecovery) {
+  std::vector<Window> ref = {Window(0, 9, 0), Window(20, 29, 0),
+                             Window(40, 49, 0), Window(60, 69, 0)};
+  std::vector<Window> cand = {Window(0, 9, 0), Window(21, 28, 0),
+                              Window(100, 109, 0)};
+  // First two matched (Jaccard 1.0 and 0.8), remaining two missed.
+  EXPECT_DOUBLE_EQ(MatchAccuracyPercent(ref, cand, 0.5), 50.0);
+}
+
+TEST(SymmetricAccuracyPercentTest, PenalizesSpuriousWindows) {
+  std::vector<Window> ref = {Window(0, 9, 0)};
+  std::vector<Window> exact = {Window(0, 9, 0)};
+  std::vector<Window> noisy = {Window(0, 9, 0), Window(50, 59, 0),
+                               Window(70, 79, 0)};
+  EXPECT_DOUBLE_EQ(SymmetricAccuracyPercent(ref, exact), 100.0);
+  const double with_spurious = SymmetricAccuracyPercent(ref, noisy);
+  EXPECT_LT(with_spurious, 100.0);
+  EXPECT_GT(with_spurious, 0.0);
+}
+
+TEST(OverlapCoefficientTest, ContainedWindowScoresOne) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(Window(0, 99, 0), Window(20, 39, 5)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(Window(20, 39, 5), Window(0, 99, 0)),
+                   1.0);
+}
+
+TEST(OverlapCoefficientTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(Window(0, 9, 0), Window(20, 29, 0)),
+                   0.0);
+}
+
+TEST(OverlapCoefficientTest, PartialOverlap) {
+  // [0,9] vs [5,24]: intersection 5, smaller window 10.
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(Window(0, 9, 0), Window(5, 24, 0)),
+                   0.5);
+}
+
+TEST(CoverageRecallPercentTest, FragmentsCountAsHits) {
+  // One big exact window; the heuristic reports a small fragment inside it.
+  std::vector<Window> reference = {Window(100, 399, 0)};
+  std::vector<Window> fragments = {Window(150, 209, 2)};
+  EXPECT_DOUBLE_EQ(CoverageRecallPercent(reference, fragments), 100.0);
+}
+
+TEST(CoverageRecallPercentTest, MissedRegionLowersRecall) {
+  std::vector<Window> reference = {Window(0, 99, 0), Window(500, 599, 0)};
+  std::vector<Window> candidates = {Window(20, 59, 0)};
+  EXPECT_DOUBLE_EQ(CoverageRecallPercent(reference, candidates), 50.0);
+}
+
+TEST(CoverageRecallPercentTest, EmptySets) {
+  EXPECT_DOUBLE_EQ(CoverageRecallPercent({}, {}), 100.0);
+  EXPECT_DOUBLE_EQ(CoverageRecallPercent({}, {Window(0, 9, 0)}), 0.0);
+  EXPECT_DOUBLE_EQ(CoverageRecallPercent({Window(0, 9, 0)}, {}), 0.0);
+}
+
+TEST(SymmetricAccuracyPercentTest, ZeroWhenNothingMatches) {
+  std::vector<Window> ref = {Window(0, 9, 0)};
+  std::vector<Window> cand = {Window(50, 59, 0)};
+  EXPECT_DOUBLE_EQ(SymmetricAccuracyPercent(ref, cand), 0.0);
+}
+
+}  // namespace
+}  // namespace tycos
