@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_baselines.dir/fig10_baselines.cc.o"
+  "CMakeFiles/fig10_baselines.dir/fig10_baselines.cc.o.d"
+  "fig10_baselines"
+  "fig10_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

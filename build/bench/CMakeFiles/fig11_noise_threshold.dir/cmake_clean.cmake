@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_noise_threshold.dir/fig11_noise_threshold.cc.o"
+  "CMakeFiles/fig11_noise_threshold.dir/fig11_noise_threshold.cc.o.d"
+  "fig11_noise_threshold"
+  "fig11_noise_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_noise_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

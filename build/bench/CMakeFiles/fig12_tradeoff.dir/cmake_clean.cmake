@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tradeoff.dir/fig12_tradeoff.cc.o"
+  "CMakeFiles/fig12_tradeoff.dir/fig12_tradeoff.cc.o.d"
+  "fig12_tradeoff"
+  "fig12_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_parameters.dir/fig13_parameters.cc.o"
+  "CMakeFiles/fig13_parameters.dir/fig13_parameters.cc.o.d"
+  "fig13_parameters"
+  "fig13_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

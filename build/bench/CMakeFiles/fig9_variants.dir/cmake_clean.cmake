@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_variants.dir/fig9_variants.cc.o"
+  "CMakeFiles/fig9_variants.dir/fig9_variants.cc.o.d"
+  "fig9_variants"
+  "fig9_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ksg.dir/micro_ksg.cc.o"
+  "CMakeFiles/micro_ksg.dir/micro_ksg.cc.o.d"
+  "micro_ksg"
+  "micro_ksg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ksg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_effectiveness.dir/table1_effectiveness.cc.o"
+  "CMakeFiles/table1_effectiveness.dir/table1_effectiveness.cc.o.d"
+  "table1_effectiveness"
+  "table1_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_accuracy.dir/table4_accuracy.cc.o"
+  "CMakeFiles/table4_accuracy.dir/table4_accuracy.cc.o.d"
+  "table4_accuracy"
+  "table4_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_direction.dir/causal_direction.cpp.o"
+  "CMakeFiles/causal_direction.dir/causal_direction.cpp.o.d"
+  "causal_direction"
+  "causal_direction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_search.dir/csv_search.cpp.o"
+  "CMakeFiles/csv_search.dir/csv_search.cpp.o.d"
+  "csv_search"
+  "csv_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_analysis.dir/energy_analysis.cpp.o"
+  "CMakeFiles/energy_analysis.dir/energy_analysis.cpp.o.d"
+  "energy_analysis"
+  "energy_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

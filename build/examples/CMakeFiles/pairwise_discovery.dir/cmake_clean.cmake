@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairwise_discovery.dir/pairwise_discovery.cpp.o"
+  "CMakeFiles/pairwise_discovery.dir/pairwise_discovery.cpp.o.d"
+  "pairwise_discovery"
+  "pairwise_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairwise_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_correlation.dir/stock_correlation.cpp.o"
+  "CMakeFiles/stock_correlation.dir/stock_correlation.cpp.o.d"
+  "stock_correlation"
+  "stock_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

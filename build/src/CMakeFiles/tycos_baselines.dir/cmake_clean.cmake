@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_baselines.dir/baselines/amic.cc.o"
+  "CMakeFiles/tycos_baselines.dir/baselines/amic.cc.o.d"
+  "CMakeFiles/tycos_baselines.dir/baselines/mass.cc.o"
+  "CMakeFiles/tycos_baselines.dir/baselines/mass.cc.o.d"
+  "CMakeFiles/tycos_baselines.dir/baselines/matrix_profile.cc.o"
+  "CMakeFiles/tycos_baselines.dir/baselines/matrix_profile.cc.o.d"
+  "CMakeFiles/tycos_baselines.dir/baselines/pcc_search.cc.o"
+  "CMakeFiles/tycos_baselines.dir/baselines/pcc_search.cc.o.d"
+  "libtycos_baselines.a"
+  "libtycos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

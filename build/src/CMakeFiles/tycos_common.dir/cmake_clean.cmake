@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_common.dir/common/math.cc.o"
+  "CMakeFiles/tycos_common.dir/common/math.cc.o.d"
+  "CMakeFiles/tycos_common.dir/common/status.cc.o"
+  "CMakeFiles/tycos_common.dir/common/status.cc.o.d"
+  "CMakeFiles/tycos_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/tycos_common.dir/common/stopwatch.cc.o.d"
+  "CMakeFiles/tycos_common.dir/common/strings.cc.o"
+  "CMakeFiles/tycos_common.dir/common/strings.cc.o.d"
+  "libtycos_common.a"
+  "libtycos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

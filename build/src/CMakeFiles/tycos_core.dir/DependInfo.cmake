@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/time_series.cc" "src/CMakeFiles/tycos_core.dir/core/time_series.cc.o" "gcc" "src/CMakeFiles/tycos_core.dir/core/time_series.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/CMakeFiles/tycos_core.dir/core/window.cc.o" "gcc" "src/CMakeFiles/tycos_core.dir/core/window.cc.o.d"
+  "/root/repo/src/core/window_set.cc" "src/CMakeFiles/tycos_core.dir/core/window_set.cc.o" "gcc" "src/CMakeFiles/tycos_core.dir/core/window_set.cc.o.d"
+  "/root/repo/src/core/window_similarity.cc" "src/CMakeFiles/tycos_core.dir/core/window_similarity.cc.o" "gcc" "src/CMakeFiles/tycos_core.dir/core/window_similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tycos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

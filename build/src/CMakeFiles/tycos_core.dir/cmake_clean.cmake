@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_core.dir/core/time_series.cc.o"
+  "CMakeFiles/tycos_core.dir/core/time_series.cc.o.d"
+  "CMakeFiles/tycos_core.dir/core/window.cc.o"
+  "CMakeFiles/tycos_core.dir/core/window.cc.o.d"
+  "CMakeFiles/tycos_core.dir/core/window_set.cc.o"
+  "CMakeFiles/tycos_core.dir/core/window_set.cc.o.d"
+  "CMakeFiles/tycos_core.dir/core/window_similarity.cc.o"
+  "CMakeFiles/tycos_core.dir/core/window_similarity.cc.o.d"
+  "libtycos_core.a"
+  "libtycos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/energy_sim.cc" "src/CMakeFiles/tycos_datagen.dir/datagen/energy_sim.cc.o" "gcc" "src/CMakeFiles/tycos_datagen.dir/datagen/energy_sim.cc.o.d"
+  "/root/repo/src/datagen/relations.cc" "src/CMakeFiles/tycos_datagen.dir/datagen/relations.cc.o" "gcc" "src/CMakeFiles/tycos_datagen.dir/datagen/relations.cc.o.d"
+  "/root/repo/src/datagen/smart_city_sim.cc" "src/CMakeFiles/tycos_datagen.dir/datagen/smart_city_sim.cc.o" "gcc" "src/CMakeFiles/tycos_datagen.dir/datagen/smart_city_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tycos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

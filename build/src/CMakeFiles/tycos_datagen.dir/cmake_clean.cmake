@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_datagen.dir/datagen/energy_sim.cc.o"
+  "CMakeFiles/tycos_datagen.dir/datagen/energy_sim.cc.o.d"
+  "CMakeFiles/tycos_datagen.dir/datagen/relations.cc.o"
+  "CMakeFiles/tycos_datagen.dir/datagen/relations.cc.o.d"
+  "CMakeFiles/tycos_datagen.dir/datagen/smart_city_sim.cc.o"
+  "CMakeFiles/tycos_datagen.dir/datagen/smart_city_sim.cc.o.d"
+  "libtycos_datagen.a"
+  "libtycos_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_fft.dir/fft/fft.cc.o"
+  "CMakeFiles/tycos_fft.dir/fft/fft.cc.o.d"
+  "CMakeFiles/tycos_fft.dir/fft/sliding_dot.cc.o"
+  "CMakeFiles/tycos_fft.dir/fft/sliding_dot.cc.o.d"
+  "libtycos_fft.a"
+  "libtycos_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtycos_fft.a"
+)

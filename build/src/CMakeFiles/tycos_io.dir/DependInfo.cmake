@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/tycos_io.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/tycos_io.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/report.cc" "src/CMakeFiles/tycos_io.dir/io/report.cc.o" "gcc" "src/CMakeFiles/tycos_io.dir/io/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tycos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_mi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_io.dir/io/csv.cc.o"
+  "CMakeFiles/tycos_io.dir/io/csv.cc.o.d"
+  "CMakeFiles/tycos_io.dir/io/report.cc.o"
+  "CMakeFiles/tycos_io.dir/io/report.cc.o.d"
+  "libtycos_io.a"
+  "libtycos_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

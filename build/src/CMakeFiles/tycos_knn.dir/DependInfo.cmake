@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knn/brute_knn.cc" "src/CMakeFiles/tycos_knn.dir/knn/brute_knn.cc.o" "gcc" "src/CMakeFiles/tycos_knn.dir/knn/brute_knn.cc.o.d"
+  "/root/repo/src/knn/grid_index.cc" "src/CMakeFiles/tycos_knn.dir/knn/grid_index.cc.o" "gcc" "src/CMakeFiles/tycos_knn.dir/knn/grid_index.cc.o.d"
+  "/root/repo/src/knn/kd_tree.cc" "src/CMakeFiles/tycos_knn.dir/knn/kd_tree.cc.o" "gcc" "src/CMakeFiles/tycos_knn.dir/knn/kd_tree.cc.o.d"
+  "/root/repo/src/knn/rank_index.cc" "src/CMakeFiles/tycos_knn.dir/knn/rank_index.cc.o" "gcc" "src/CMakeFiles/tycos_knn.dir/knn/rank_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tycos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

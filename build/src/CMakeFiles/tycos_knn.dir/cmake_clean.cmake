@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_knn.dir/knn/brute_knn.cc.o"
+  "CMakeFiles/tycos_knn.dir/knn/brute_knn.cc.o.d"
+  "CMakeFiles/tycos_knn.dir/knn/grid_index.cc.o"
+  "CMakeFiles/tycos_knn.dir/knn/grid_index.cc.o.d"
+  "CMakeFiles/tycos_knn.dir/knn/kd_tree.cc.o"
+  "CMakeFiles/tycos_knn.dir/knn/kd_tree.cc.o.d"
+  "CMakeFiles/tycos_knn.dir/knn/rank_index.cc.o"
+  "CMakeFiles/tycos_knn.dir/knn/rank_index.cc.o.d"
+  "libtycos_knn.a"
+  "libtycos_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

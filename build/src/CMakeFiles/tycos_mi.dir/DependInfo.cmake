@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mi/cmi.cc" "src/CMakeFiles/tycos_mi.dir/mi/cmi.cc.o" "gcc" "src/CMakeFiles/tycos_mi.dir/mi/cmi.cc.o.d"
+  "/root/repo/src/mi/entropy.cc" "src/CMakeFiles/tycos_mi.dir/mi/entropy.cc.o" "gcc" "src/CMakeFiles/tycos_mi.dir/mi/entropy.cc.o.d"
+  "/root/repo/src/mi/histogram_mi.cc" "src/CMakeFiles/tycos_mi.dir/mi/histogram_mi.cc.o" "gcc" "src/CMakeFiles/tycos_mi.dir/mi/histogram_mi.cc.o.d"
+  "/root/repo/src/mi/incremental_ksg.cc" "src/CMakeFiles/tycos_mi.dir/mi/incremental_ksg.cc.o" "gcc" "src/CMakeFiles/tycos_mi.dir/mi/incremental_ksg.cc.o.d"
+  "/root/repo/src/mi/ksg.cc" "src/CMakeFiles/tycos_mi.dir/mi/ksg.cc.o" "gcc" "src/CMakeFiles/tycos_mi.dir/mi/ksg.cc.o.d"
+  "/root/repo/src/mi/pearson.cc" "src/CMakeFiles/tycos_mi.dir/mi/pearson.cc.o" "gcc" "src/CMakeFiles/tycos_mi.dir/mi/pearson.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tycos_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

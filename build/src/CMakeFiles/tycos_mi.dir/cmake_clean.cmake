@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_mi.dir/mi/cmi.cc.o"
+  "CMakeFiles/tycos_mi.dir/mi/cmi.cc.o.d"
+  "CMakeFiles/tycos_mi.dir/mi/entropy.cc.o"
+  "CMakeFiles/tycos_mi.dir/mi/entropy.cc.o.d"
+  "CMakeFiles/tycos_mi.dir/mi/histogram_mi.cc.o"
+  "CMakeFiles/tycos_mi.dir/mi/histogram_mi.cc.o.d"
+  "CMakeFiles/tycos_mi.dir/mi/incremental_ksg.cc.o"
+  "CMakeFiles/tycos_mi.dir/mi/incremental_ksg.cc.o.d"
+  "CMakeFiles/tycos_mi.dir/mi/ksg.cc.o"
+  "CMakeFiles/tycos_mi.dir/mi/ksg.cc.o.d"
+  "CMakeFiles/tycos_mi.dir/mi/pearson.cc.o"
+  "CMakeFiles/tycos_mi.dir/mi/pearson.cc.o.d"
+  "libtycos_mi.a"
+  "libtycos_mi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_mi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

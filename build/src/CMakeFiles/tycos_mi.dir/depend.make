@@ -1,0 +1,2 @@
+# Empty dependencies file for tycos_mi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/brute_force_search.cc" "src/CMakeFiles/tycos_search.dir/search/brute_force_search.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/brute_force_search.cc.o.d"
+  "/root/repo/src/search/evaluator.cc" "src/CMakeFiles/tycos_search.dir/search/evaluator.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/evaluator.cc.o.d"
+  "/root/repo/src/search/lahc.cc" "src/CMakeFiles/tycos_search.dir/search/lahc.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/lahc.cc.o.d"
+  "/root/repo/src/search/noise.cc" "src/CMakeFiles/tycos_search.dir/search/noise.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/noise.cc.o.d"
+  "/root/repo/src/search/pairwise.cc" "src/CMakeFiles/tycos_search.dir/search/pairwise.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/pairwise.cc.o.d"
+  "/root/repo/src/search/params.cc" "src/CMakeFiles/tycos_search.dir/search/params.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/params.cc.o.d"
+  "/root/repo/src/search/significance.cc" "src/CMakeFiles/tycos_search.dir/search/significance.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/significance.cc.o.d"
+  "/root/repo/src/search/streaming.cc" "src/CMakeFiles/tycos_search.dir/search/streaming.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/streaming.cc.o.d"
+  "/root/repo/src/search/top_k.cc" "src/CMakeFiles/tycos_search.dir/search/top_k.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/top_k.cc.o.d"
+  "/root/repo/src/search/tycos.cc" "src/CMakeFiles/tycos_search.dir/search/tycos.cc.o" "gcc" "src/CMakeFiles/tycos_search.dir/search/tycos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tycos_mi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

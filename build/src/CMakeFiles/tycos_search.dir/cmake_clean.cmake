@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tycos_search.dir/search/brute_force_search.cc.o"
+  "CMakeFiles/tycos_search.dir/search/brute_force_search.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/evaluator.cc.o"
+  "CMakeFiles/tycos_search.dir/search/evaluator.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/lahc.cc.o"
+  "CMakeFiles/tycos_search.dir/search/lahc.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/noise.cc.o"
+  "CMakeFiles/tycos_search.dir/search/noise.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/pairwise.cc.o"
+  "CMakeFiles/tycos_search.dir/search/pairwise.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/params.cc.o"
+  "CMakeFiles/tycos_search.dir/search/params.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/significance.cc.o"
+  "CMakeFiles/tycos_search.dir/search/significance.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/streaming.cc.o"
+  "CMakeFiles/tycos_search.dir/search/streaming.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/top_k.cc.o"
+  "CMakeFiles/tycos_search.dir/search/top_k.cc.o.d"
+  "CMakeFiles/tycos_search.dir/search/tycos.cc.o"
+  "CMakeFiles/tycos_search.dir/search/tycos.cc.o.d"
+  "libtycos_search.a"
+  "libtycos_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tycos_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtycos_search.a"
+)

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/amic_test.cc" "tests/CMakeFiles/tycos_tests.dir/amic_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/amic_test.cc.o.d"
+  "/root/repo/tests/brute_force_test.cc" "tests/CMakeFiles/tycos_tests.dir/brute_force_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/brute_force_test.cc.o.d"
+  "/root/repo/tests/cmi_test.cc" "tests/CMakeFiles/tycos_tests.dir/cmi_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/cmi_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/tycos_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/tycos_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/entropy_test.cc" "tests/CMakeFiles/tycos_tests.dir/entropy_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/entropy_test.cc.o.d"
+  "/root/repo/tests/evaluator_test.cc" "tests/CMakeFiles/tycos_tests.dir/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/evaluator_test.cc.o.d"
+  "/root/repo/tests/fft_test.cc" "tests/CMakeFiles/tycos_tests.dir/fft_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/fft_test.cc.o.d"
+  "/root/repo/tests/incremental_ksg_test.cc" "tests/CMakeFiles/tycos_tests.dir/incremental_ksg_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/incremental_ksg_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tycos_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/knn_test.cc" "tests/CMakeFiles/tycos_tests.dir/knn_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/knn_test.cc.o.d"
+  "/root/repo/tests/ksg_test.cc" "tests/CMakeFiles/tycos_tests.dir/ksg_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/ksg_test.cc.o.d"
+  "/root/repo/tests/lahc_test.cc" "tests/CMakeFiles/tycos_tests.dir/lahc_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/lahc_test.cc.o.d"
+  "/root/repo/tests/mass_test.cc" "tests/CMakeFiles/tycos_tests.dir/mass_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/mass_test.cc.o.d"
+  "/root/repo/tests/math_test.cc" "tests/CMakeFiles/tycos_tests.dir/math_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/math_test.cc.o.d"
+  "/root/repo/tests/matrix_profile_test.cc" "tests/CMakeFiles/tycos_tests.dir/matrix_profile_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/matrix_profile_test.cc.o.d"
+  "/root/repo/tests/noise_test.cc" "tests/CMakeFiles/tycos_tests.dir/noise_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/noise_test.cc.o.d"
+  "/root/repo/tests/pairwise_test.cc" "tests/CMakeFiles/tycos_tests.dir/pairwise_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/pairwise_test.cc.o.d"
+  "/root/repo/tests/pearson_test.cc" "tests/CMakeFiles/tycos_tests.dir/pearson_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/pearson_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/tycos_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/tycos_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/significance_test.cc" "tests/CMakeFiles/tycos_tests.dir/significance_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/significance_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/tycos_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/streaming_test.cc" "tests/CMakeFiles/tycos_tests.dir/streaming_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/streaming_test.cc.o.d"
+  "/root/repo/tests/strings_test.cc" "tests/CMakeFiles/tycos_tests.dir/strings_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/strings_test.cc.o.d"
+  "/root/repo/tests/theiler_test.cc" "tests/CMakeFiles/tycos_tests.dir/theiler_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/theiler_test.cc.o.d"
+  "/root/repo/tests/time_series_test.cc" "tests/CMakeFiles/tycos_tests.dir/time_series_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/time_series_test.cc.o.d"
+  "/root/repo/tests/top_k_test.cc" "tests/CMakeFiles/tycos_tests.dir/top_k_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/top_k_test.cc.o.d"
+  "/root/repo/tests/tycos_test.cc" "tests/CMakeFiles/tycos_tests.dir/tycos_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/tycos_test.cc.o.d"
+  "/root/repo/tests/window_set_test.cc" "tests/CMakeFiles/tycos_tests.dir/window_set_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/window_set_test.cc.o.d"
+  "/root/repo/tests/window_similarity_test.cc" "tests/CMakeFiles/tycos_tests.dir/window_similarity_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/window_similarity_test.cc.o.d"
+  "/root/repo/tests/window_test.cc" "tests/CMakeFiles/tycos_tests.dir/window_test.cc.o" "gcc" "tests/CMakeFiles/tycos_tests.dir/window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tycos_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_mi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tycos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
