@@ -2,11 +2,19 @@
 // episodes as they are discovered, with bounded memory — TYCOS as it would
 // run inside an IoT gateway rather than over an archived dataset.
 //
+// The gateway twist: each search pass runs under a RunContext deadline so a
+// slow pass can never stall ingestion, and the feed is ingested under
+// DataPolicy::kInterpolate so the occasional dropped sensor reading (NaN)
+// does not kill the monitor.
+//
 //   $ ./build/examples/streaming_monitor
 
 #include <cstdio>
+#include <limits>
 #include <vector>
 
+#include "common/run_context.h"
+#include "core/data_policy.h"
 #include "datagen/relations.h"
 #include "search/streaming.h"
 
@@ -26,16 +34,43 @@ int main() {
   params.s_max = 400;
   params.td_max = 32;
 
-  StreamingTycos monitor(params, TycosVariant::kLMN);
-  const auto& xs = ds.pair.x().values();
-  const auto& ys = ds.pair.y().values();
+  auto created = StreamingTycos::Create(params, TycosVariant::kLMN,
+                                        /*seed=*/42, /*search_trigger=*/0,
+                                        DataPolicy::kInterpolate);
+  if (!created.ok()) {
+    std::fprintf(stderr, "config rejected: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  StreamingTycos& monitor = **created;
+
+  std::vector<double> xs = ds.pair.x().values();
+  std::vector<double> ys = ds.pair.y().values();
+  // Simulate a flaky sensor: a reading goes missing mid-stream. The
+  // interpolate policy repairs it on ingest instead of erroring out.
+  xs[700] = std::numeric_limits<double>::quiet_NaN();
   const size_t kBatch = 250;
 
   size_t reported = 0;
   for (size_t at = 0; at < xs.size(); at += kBatch) {
     const size_t end = std::min(xs.size(), at + kBatch);
-    monitor.Append({xs.begin() + at, xs.begin() + end},
-                   {ys.begin() + at, ys.begin() + end});
+
+    // Each pass gets a fresh 200 ms budget; an expired pass still yields its
+    // best-so-far windows (flagged partial) and the stream keeps moving.
+    RunContext ctx = RunContext::WithDeadline(/*seconds=*/0.2);
+    monitor.set_run_context(&ctx);
+
+    const Status s = monitor.Append({xs.begin() + at, xs.begin() + end},
+                                    {ys.begin() + at, ys.begin() + end});
+    if (!s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (monitor.last_pass_partial()) {
+      std::printf("[t=%6zu] search pass hit its deadline (%s); "
+                  "results are best-so-far\n",
+                  end, StopReasonName(monitor.last_stop_reason()));
+    }
     for (const Window& w : monitor.results().Sorted()) {
       // Report each window once, as soon as it appears.
       if (static_cast<size_t>(w.start) < reported) continue;
@@ -47,15 +82,20 @@ int main() {
                   static_cast<long long>(monitor.retained_samples()));
       reported = static_cast<size_t>(w.start) + 1;
     }
+    monitor.set_run_context(nullptr);
   }
-  monitor.Flush();
+  if (const Status s = monitor.Flush(); !s.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   std::printf("\nstream ended: %lld samples seen, %lld retained, "
-              "%lld search passes, %zu windows\n",
+              "%lld search passes, %zu windows, %lld samples interpolated\n",
               static_cast<long long>(monitor.samples_seen()),
               static_cast<long long>(monitor.retained_samples()),
               static_cast<long long>(monitor.search_passes()),
-              monitor.results().size());
+              monitor.results().size(),
+              static_cast<long long>(monitor.ingest_stats().interpolated));
   std::printf("ground truth: sine at [%lld, %lld] lag 8; linear at "
               "[%lld, %lld] lag 20\n",
               static_cast<long long>(ds.planted[0].x_start),

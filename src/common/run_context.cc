@@ -1,0 +1,24 @@
+#include "common/run_context.h"
+
+namespace tycos {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kCompleted:
+      return "completed";
+    case StopReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kBudgetExhausted:
+      return "budget_exhausted";
+  }
+  return "unknown";
+}
+
+const RunContext& RunContext::None() {
+  static const RunContext ctx;
+  return ctx;
+}
+
+}  // namespace tycos

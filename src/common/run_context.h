@@ -1,0 +1,109 @@
+// RunContext: cooperative execution limits for a search run — a monotonic
+// deadline, an externally triggered cancellation flag, and an estimator
+// evaluation budget.
+//
+// Searches poll ShouldStop() at climb / neighbourhood / scanline
+// boundaries, so a stop request is honored within one window evaluation of
+// the trigger and the search can return its best-so-far result instead of
+// being killed mid-flight. A default-constructed context imposes no limits
+// and its polls are branch-cheap, so drivers thread one unconditionally.
+
+#ifndef TYCOS_COMMON_RUN_CONTEXT_H_
+#define TYCOS_COMMON_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace tycos {
+
+// Why a search run ended.
+enum class StopReason {
+  kCompleted = 0,     // ran to natural completion
+  kDeadlineExceeded,  // the RunContext deadline expired
+  kCancelled,         // RequestCancel() was called
+  kBudgetExhausted,   // the evaluation budget was used up
+};
+
+// Human-readable name ("completed", "deadline_exceeded", ...).
+const char* StopReasonName(StopReason reason);
+
+class RunContext {
+ public:
+  RunContext() = default;
+
+  // The cancellation flag is shared state between the controlling thread
+  // and the search; pass contexts by reference, never by copy.
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+  RunContext(RunContext&& other) noexcept
+      : cancelled_(other.cancelled_.load(std::memory_order_relaxed)),
+        deadline_(other.deadline_),
+        evaluation_budget_(other.evaluation_budget_) {}
+
+  // A shared no-limit context for callers that don't care.
+  static const RunContext& None();
+
+  static RunContext WithDeadline(double seconds) {
+    RunContext ctx;
+    ctx.SetDeadlineAfter(seconds);
+    return ctx;
+  }
+
+  static RunContext WithEvaluationBudget(int64_t max_evaluations) {
+    RunContext ctx;
+    ctx.SetEvaluationBudget(max_evaluations);
+    return ctx;
+  }
+
+  // Sets the deadline `seconds` from now on the monotonic clock.
+  void SetDeadlineAfter(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+  }
+  void ClearDeadline() { deadline_.reset(); }
+
+  // Caps the number of estimator evaluations; <= 0 means unlimited. The
+  // count is the poller's own (per-search) evaluation counter, so drivers
+  // that run several searches apply the budget per search unit.
+  void SetEvaluationBudget(int64_t max_evaluations) {
+    evaluation_budget_ = max_evaluations > 0 ? max_evaluations : 0;
+  }
+
+  // Thread-safe: may be called from another thread while a search runs;
+  // every subsequent ShouldStop() poll reports kCancelled.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool HasLimits() const {
+    return deadline_.has_value() || evaluation_budget_ > 0 ||
+           cancel_requested();
+  }
+
+  // nullopt while the run may continue, otherwise the reason to stop.
+  // `evaluations_used` is compared against the evaluation budget.
+  std::optional<StopReason> ShouldStop(int64_t evaluations_used = 0) const {
+    if (cancel_requested()) return StopReason::kCancelled;
+    if (evaluation_budget_ > 0 && evaluations_used >= evaluation_budget_) {
+      return StopReason::kBudgetExhausted;
+    }
+    if (deadline_.has_value() && Clock::now() >= *deadline_) {
+      return StopReason::kDeadlineExceeded;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<bool> cancelled_{false};
+  std::optional<Clock::time_point> deadline_;
+  int64_t evaluation_budget_ = 0;  // 0 = unlimited
+};
+
+}  // namespace tycos
+
+#endif  // TYCOS_COMMON_RUN_CONTEXT_H_

@@ -1,0 +1,133 @@
+#include "core/data_policy.h"
+
+#include <cmath>
+#include <string>
+
+namespace tycos {
+
+const char* DataPolicyName(DataPolicy policy) {
+  switch (policy) {
+    case DataPolicy::kReject:
+      return "reject";
+    case DataPolicy::kDropRow:
+      return "drop_row";
+    case DataPolicy::kInterpolate:
+      return "interpolate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Linear interpolation between the nearest finite neighbours; runs touching
+// an edge are clamped to the nearest finite value. Returns the number of
+// entries repaired, or -1 when the column has no finite value at all.
+int64_t InterpolateColumn(std::vector<double>* column) {
+  const int64_t n = static_cast<int64_t>(column->size());
+  int64_t repaired = 0;
+  int64_t i = 0;
+  while (i < n) {
+    if (std::isfinite((*column)[static_cast<size_t>(i)])) {
+      ++i;
+      continue;
+    }
+    int64_t run_end = i;  // [i, run_end] is a non-finite run
+    while (run_end + 1 < n &&
+           !std::isfinite((*column)[static_cast<size_t>(run_end + 1)])) {
+      ++run_end;
+    }
+    const int64_t left = i - 1;          // finite or -1
+    const int64_t right = run_end + 1;   // finite or n
+    if (left < 0 && right >= n) return -1;
+    for (int64_t j = i; j <= run_end; ++j) {
+      double v;
+      if (left < 0) {
+        v = (*column)[static_cast<size_t>(right)];
+      } else if (right >= n) {
+        v = (*column)[static_cast<size_t>(left)];
+      } else {
+        const double lv = (*column)[static_cast<size_t>(left)];
+        const double rv = (*column)[static_cast<size_t>(right)];
+        const double t = static_cast<double>(j - left) /
+                         static_cast<double>(right - left);
+        v = lv + t * (rv - lv);
+      }
+      (*column)[static_cast<size_t>(j)] = v;
+      ++repaired;
+    }
+    i = run_end + 1;
+  }
+  return repaired;
+}
+
+}  // namespace
+
+Status SanitizeColumns(std::vector<std::vector<double>>* columns,
+                       DataPolicy policy, SanitizeStats* stats) {
+  if (columns->empty()) return Status::Ok();
+  const size_t rows = (*columns)[0].size();
+  for (const auto& col : *columns) {
+    if (col.size() != rows) {
+      return Status::InvalidArgument("columns are not row-aligned");
+    }
+  }
+
+  int64_t non_finite = 0;
+  for (size_t c = 0; c < columns->size(); ++c) {
+    for (size_t r = 0; r < rows; ++r) {
+      if (!std::isfinite((*columns)[c][r])) {
+        ++non_finite;
+        if (policy == DataPolicy::kReject) {
+          return Status::InvalidArgument(
+              "non-finite value at row " + std::to_string(r) + ", column " +
+              std::to_string(c) + " (policy: reject)");
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->non_finite += non_finite;
+  if (non_finite == 0) return Status::Ok();
+
+  if (policy == DataPolicy::kDropRow) {
+    std::vector<size_t> keep;
+    keep.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      bool ok = true;
+      for (const auto& col : *columns) ok &= std::isfinite(col[r]);
+      if (ok) keep.push_back(r);
+    }
+    for (auto& col : *columns) {
+      std::vector<double> next;
+      next.reserve(keep.size());
+      for (size_t r : keep) next.push_back(col[r]);
+      col = std::move(next);
+    }
+    if (stats != nullptr) {
+      stats->rows_dropped += static_cast<int64_t>(rows - keep.size());
+    }
+    return Status::Ok();
+  }
+
+  // kInterpolate.
+  for (size_t c = 0; c < columns->size(); ++c) {
+    const int64_t repaired = InterpolateColumn(&(*columns)[c]);
+    if (repaired < 0) {
+      return Status::InvalidArgument("column " + std::to_string(c) +
+                                     " has no finite value to interpolate "
+                                     "from");
+    }
+    if (stats != nullptr) stats->interpolated += repaired;
+  }
+  return Status::Ok();
+}
+
+Status SanitizeValues(std::vector<double>* values, DataPolicy policy,
+                      SanitizeStats* stats) {
+  std::vector<std::vector<double>> columns;
+  columns.push_back(std::move(*values));
+  const Status st = SanitizeColumns(&columns, policy, stats);
+  *values = std::move(columns[0]);
+  return st;
+}
+
+}  // namespace tycos

@@ -14,6 +14,30 @@ std::vector<double> TimeSeries::Slice(int64_t begin, int64_t end) const {
                              values_.begin() + end + 1);
 }
 
+Status TimeSeries::Validate() const {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!std::isfinite(values_[i])) {
+      return Status::InvalidArgument(
+          "series '" + (name_.empty() ? std::string("<unnamed>") : name_) +
+          "' has a non-finite sample at index " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<SeriesPair> SeriesPair::Create(TimeSeries x, TimeSeries y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument(
+        "series lengths differ: " + std::to_string(x.size()) + " vs " +
+        std::to_string(y.size()));
+  }
+  Status st = x.Validate();
+  if (!st.ok()) return st;
+  st = y.Validate();
+  if (!st.ok()) return st;
+  return SeriesPair(std::move(x), std::move(y));
+}
+
 TimeSeries TimeSeries::ZNormalized() const {
   const double mu = Mean(values_);
   const double sd = std::sqrt(Variance(values_));

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace tycos {
 
@@ -40,6 +41,12 @@ class TimeSeries {
   // Copies samples [begin, end] (inclusive bounds) into a new vector.
   std::vector<double> Slice(int64_t begin, int64_t end) const;
 
+  // Validation pass for hostile input: InvalidArgument naming the first
+  // non-finite sample (nan / inf), Ok otherwise. The estimators assume
+  // finite data, so ingest boundaries and the Create factories call this
+  // before a series reaches a search.
+  Status Validate() const;
+
   // Returns a z-normalized copy ((x - mean) / stddev). A constant series
   // normalizes to all zeros.
   TimeSeries ZNormalized() const;
@@ -57,6 +64,10 @@ class SeriesPair {
   SeriesPair(TimeSeries x, TimeSeries y) : x_(std::move(x)), y_(std::move(y)) {
     TYCOS_CHECK_EQ(x_.size(), y_.size());
   }
+
+  // Graceful (non-CHECKing) construction: InvalidArgument on a length
+  // mismatch or a non-finite sample in either series.
+  static Result<SeriesPair> Create(TimeSeries x, TimeSeries y);
 
   int64_t size() const { return x_.size(); }
   const TimeSeries& x() const { return x_; }

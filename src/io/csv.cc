@@ -1,14 +1,35 @@
 #include "io/csv.h"
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/strings.h"
 
 namespace tycos {
 
-Result<CsvTable> ParseCsv(const std::string& content, bool has_header) {
+namespace {
+
+// Conventional missing-data markers. A field matching one of these is a
+// *missing* value (policy decides its fate), never a parse error.
+bool IsMissingToken(std::string_view field) {
+  std::string lower;
+  lower.reserve(field.size());
+  for (char ch : field) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+  }
+  return lower.empty() || lower == "na" || lower == "n/a" || lower == "nan" ||
+         lower == "null" || lower == "nil" || lower == "-";
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& content, bool has_header,
+                          DataPolicy policy, SanitizeStats* stats) {
   CsvTable table;
   std::istringstream in(content);
   std::string line;
@@ -34,24 +55,44 @@ Result<CsvTable> ParseCsv(const std::string& content, bool has_header) {
           std::to_string(table.columns.size()));
     }
     for (size_t c = 0; c < fields.size(); ++c) {
-      double v = 0.0;
-      if (!ParseDouble(fields[c], &v)) {
-        return Status::InvalidArgument("unparsable value '" + fields[c] +
-                                       "' at row " + std::to_string(row));
+      const std::string_view field = StripWhitespace(fields[c]);
+      double v = std::numeric_limits<double>::quiet_NaN();
+      if (!IsMissingToken(field)) {
+        if (!ParseDouble(field, &v)) {
+          // Malformed tokens are a format error, not missing data: no
+          // policy may silently paper over e.g. a shifted delimiter.
+          return Status::InvalidArgument("unparsable value '" +
+                                         std::string(field) + "' at row " +
+                                         std::to_string(row));
+        }
+        // strtod happily returns ±inf for "inf" and for overflowing
+        // literals like 1e999, and NaN for "nan"; all of those are hostile
+        // to the estimators, so they flow through the policy as missing.
       }
       table.columns[c].push_back(v);
     }
     ++row;
   }
+  const Status st = SanitizeColumns(&table.columns, policy, stats);
+  if (!st.ok()) return st;
   return table;
 }
 
-Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+Result<CsvTable> ParseCsv(const std::string& content, bool has_header) {
+  return ParseCsv(content, has_header, DataPolicy::kReject, nullptr);
+}
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header,
+                         DataPolicy policy, SanitizeStats* stats) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ParseCsv(buf.str(), has_header);
+  return ParseCsv(buf.str(), has_header, policy, stats);
+}
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  return ReadCsv(path, has_header, DataPolicy::kReject, nullptr);
 }
 
 Result<TimeSeries> ColumnAsSeries(const CsvTable& table, int64_t column) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/data_policy.h"
 #include "core/time_series.h"
 #include "core/window.h"
 
@@ -28,11 +29,24 @@ struct CsvTable {
 };
 
 // Reads a CSV file. When `has_header` is true, the first row supplies column
-// names. All rows must have the same number of numeric fields.
+// names. All rows must have the same number of numeric fields. Hostile
+// values — non-finite literals ("nan", "inf", overflowing numbers like
+// 1e999) and missing fields ("", "na", "null", ...) — are rejected; use the
+// DataPolicy overloads to drop or repair them instead. Unparsable garbage
+// ("abc", "1.2.3") is a hard error under every policy.
 Result<CsvTable> ReadCsv(const std::string& path, bool has_header = true);
 
 // Parses CSV from an in-memory string (same rules as ReadCsv).
 Result<CsvTable> ParseCsv(const std::string& content, bool has_header = true);
+
+// Policy-aware variants: missing and non-finite fields follow `policy`
+// (reject with a precise error / drop the whole row / linearly interpolate
+// from the nearest finite neighbours). `stats`, when non-null, accumulates
+// what the pass encountered and repaired.
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header,
+                         DataPolicy policy, SanitizeStats* stats = nullptr);
+Result<CsvTable> ParseCsv(const std::string& content, bool has_header,
+                          DataPolicy policy, SanitizeStats* stats = nullptr);
 
 // Extracts one column as a TimeSeries, named after its header (or
 // "col<index>" when headerless).

@@ -18,12 +18,64 @@ double PsiClamped(DigammaTable& psi, int64_t n) {
 
 }  // namespace
 
+namespace {
+
+// Universe values for the rank indexes. Non-finite samples are mapped to 0
+// so the sorted universe keeps a strict weak order; they can never be
+// *inserted* (windows touching them are rejected as degenerate), so the
+// substitution only affects construction.
+std::vector<double> FiniteUniverse(const std::vector<double>& values) {
+  std::vector<double> out = values;
+  for (double& v : out) {
+    if (!std::isfinite(v)) v = 0.0;
+  }
+  return out;
+}
+
+void BuildHostileTables(const std::vector<double>& values,
+                        std::vector<int64_t>* run_start,
+                        std::vector<int64_t>* nonfinite_prefix) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  run_start->resize(static_cast<size_t>(n));
+  nonfinite_prefix->assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    (*run_start)[static_cast<size_t>(i)] =
+        (i > 0 && values[static_cast<size_t>(i)] ==
+                      values[static_cast<size_t>(i - 1)])
+            ? (*run_start)[static_cast<size_t>(i - 1)]
+            : i;
+    (*nonfinite_prefix)[static_cast<size_t>(i) + 1] =
+        (*nonfinite_prefix)[static_cast<size_t>(i)] +
+        (std::isfinite(values[static_cast<size_t>(i)]) ? 0 : 1);
+  }
+}
+
+}  // namespace
+
 IncrementalKsg::IncrementalKsg(const SeriesPair& pair, int k)
     : pair_(pair),
       k_(k),
-      x_index_(pair.x().values()),
-      y_index_(pair.y().values()) {
+      x_index_(FiniteUniverse(pair.x().values())),
+      y_index_(FiniteUniverse(pair.y().values())) {
   TYCOS_CHECK_GE(k_, 1);
+  BuildHostileTables(pair.x().values(), &run_start_x_, &nonfinite_prefix_x_);
+  BuildHostileTables(pair.y().values(), &run_start_y_, &nonfinite_prefix_y_);
+}
+
+bool IncrementalKsg::DegenerateWindow(const Window& w) const {
+  const size_t xe = static_cast<size_t>(w.end);
+  const size_t ye = static_cast<size_t>(w.y_end());
+  if (run_start_x_[xe] <= w.start) return true;            // constant X
+  if (run_start_y_[ye] <= w.y_start()) return true;        // constant Y
+  if (nonfinite_prefix_x_[xe + 1] -
+          nonfinite_prefix_x_[static_cast<size_t>(w.start)] > 0) {
+    return true;
+  }
+  if (nonfinite_prefix_y_[ye + 1] -
+          nonfinite_prefix_y_[static_cast<size_t>(w.y_start())] > 0) {
+    return true;
+  }
+  return false;
 }
 
 Point2 IncrementalKsg::PointAt(int64_t global_index, int64_t delay) const {
@@ -240,6 +292,15 @@ double IncrementalKsg::SetWindow(const Window& w) {
 
   if (w.size() < k_ + 2) {
     Rebuild(w);  // clears state; CurrentMi() is 0
+    return 0.0;
+  }
+
+  // Hostile-window guard: constant marginals and non-finite samples score a
+  // defined 0 and never reach a kNN query. State is left on the previous
+  // (healthy) window so an interleaved degenerate probe does not destroy
+  // incremental locality.
+  if (DegenerateWindow(w)) {
+    ++stats_.degenerate_windows;
     return 0.0;
   }
 

@@ -41,6 +41,7 @@ struct IncrementalKsgStats {
   int64_t points_removed = 0;
   int64_t knn_recomputes = 0;      // per-point kNN searches triggered by IR hits
   int64_t marginal_updates = 0;    // O(1) IMR count adjustments
+  int64_t degenerate_windows = 0;  // constant/non-finite windows scored as 0
 };
 
 class IncrementalKsg {
@@ -54,7 +55,11 @@ class IncrementalKsg {
   // Moves the estimator to window w and returns its MI. Windows sharing the
   // delay of the previous window are updated incrementally by adding and
   // removing edge points; a delay change or a disjoint jump triggers a full
-  // rebuild. Returns 0 for windows too small for k (size < k + 2).
+  // rebuild. Returns 0 for windows too small for k (size < k + 2) and for
+  // degenerate windows (a constant marginal or any non-finite sample,
+  // detected in O(1) from precomputed tables; see stats().degenerate_windows)
+  // — the estimator state is left untouched for those, so CurrentMi() keeps
+  // describing the last healthy window.
   double SetWindow(const Window& w);
 
   // MI of the current window (O(1)).
@@ -74,6 +79,10 @@ class IncrementalKsg {
 
   int64_t WindowSizeNow() const { return end_ - start_ + 1; }
   Point2 PointAt(int64_t global_index, int64_t delay) const;
+
+  // O(1) hostile-window test against the precomputed per-series tables:
+  // true when w selects a constant marginal or any non-finite sample.
+  bool DegenerateWindow(const Window& w) const;
 
   // Full O(m log m) recompute of all state for window w.
   void Rebuild(const Window& w);
@@ -98,6 +107,15 @@ class IncrementalKsg {
   const int k_;
   // Lazily grown lookup table; mutable so the O(1) CurrentMi() stays const.
   mutable DigammaTable psi_;
+
+  // Hostile-input tables, one entry per sample: run_start_*_[i] is the
+  // smallest j with values j..i all equal (so [s, e] is constant iff
+  // run_start[e] <= s), nonfinite_prefix_*_[i+1] counts non-finite samples
+  // in [0, i].
+  std::vector<int64_t> run_start_x_;
+  std::vector<int64_t> run_start_y_;
+  std::vector<int64_t> nonfinite_prefix_x_;
+  std::vector<int64_t> nonfinite_prefix_y_;
 
   bool has_window_ = false;
   int64_t start_ = 0;   // current window, global X indices

@@ -125,6 +125,28 @@ double KsgMiTheiler(const std::vector<double>& x, const std::vector<double>& y,
 
 }  // namespace
 
+// Single pass over both marginals: detects non-finite samples and constant
+// marginals, the two inputs on which a kNN MI query is undefined.
+enum class InputHealth { kOk, kConstantMarginal, kNonFinite };
+
+InputHealth ClassifyInputs(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  double x_min = xs[0], x_max = xs[0], y_min = ys[0], y_max = ys[0];
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (!std::isfinite(xs[i]) || !std::isfinite(ys[i])) {
+      return InputHealth::kNonFinite;
+    }
+    x_min = std::min(x_min, xs[i]);
+    x_max = std::max(x_max, xs[i]);
+    y_min = std::min(y_min, ys[i]);
+    y_max = std::max(y_max, ys[i]);
+  }
+  if (x_min == x_max || y_min == y_max) {
+    return InputHealth::kConstantMarginal;
+  }
+  return InputHealth::kOk;
+}
+
 double KsgMi(const std::vector<double>& xs, const std::vector<double>& ys,
              const KsgOptions& options) {
   TYCOS_CHECK_EQ(xs.size(), ys.size());
@@ -132,6 +154,23 @@ double KsgMi(const std::vector<double>& xs, const std::vector<double>& ys,
   const int k = options.k;
   TYCOS_CHECK_GE(k, 1);
   if (m < k + 2) return 0.0;
+
+  // Hostile-input guard: constant (or non-finite) inputs score a defined
+  // MI of 0. The check runs before jitter so a constant series stays
+  // constant rather than becoming jitter noise.
+  switch (ClassifyInputs(xs, ys)) {
+    case InputHealth::kOk:
+      break;
+    case InputHealth::kConstantMarginal:
+      if (options.diagnostics) ++options.diagnostics->degenerate_windows;
+      return 0.0;
+    case InputHealth::kNonFinite:
+      if (options.diagnostics) {
+        ++options.diagnostics->degenerate_windows;
+        ++options.diagnostics->non_finite_inputs;
+      }
+      return 0.0;
+  }
 
   std::vector<double> x = xs;
   std::vector<double> y = ys;

@@ -25,12 +25,24 @@ enum class KnnBackend {
   kGrid,      // uniform grid with L∞ ring expansion (paper's [30])
 };
 
+// Counters for defined-but-degenerate estimator inputs. KSG is undefined on
+// a constant marginal (every pairwise distance ties at 0, the kNN "extent"
+// is an empty strip) and poisoned by non-finite samples; both are mapped to
+// MI = 0 and counted here instead of reaching a degenerate kNN query.
+struct KsgDiagnostics {
+  int64_t degenerate_windows = 0;  // constant-marginal inputs scored as 0
+  int64_t non_finite_inputs = 0;   // inputs containing nan/inf, scored as 0
+};
+
 struct KsgOptions {
   // Number of nearest neighbours (the paper's k; Kraskov et al. recommend
   // small values, 2–6).
   int k = 4;
 
   KnnBackend backend = KnnBackend::kAuto;
+
+  // Optional out-counters, bumped when a degenerate input is scored 0.
+  KsgDiagnostics* diagnostics = nullptr;
 
   // When > 0, adds a deterministic per-index jitter of this relative
   // amplitude to break ties on discrete-valued data (Kraskov et al.'s
@@ -50,9 +62,11 @@ struct KsgOptions {
 };
 
 // MI estimate for paired samples xs/ys (equal lengths). Returns 0 when the
-// sample count is too small for the requested k (m < k + 2). The raw KSG
-// estimate may be slightly negative for independent data; callers that need
-// a non-negative value clamp it.
+// sample count is too small for the requested k (m < k + 2), when either
+// marginal is constant, or when any sample is non-finite (see
+// KsgDiagnostics) — degenerate inputs have defined behavior, never a
+// degenerate kNN query. The raw KSG estimate may be slightly negative for
+// independent data; callers that need a non-negative value clamp it.
 double KsgMi(const std::vector<double>& xs, const std::vector<double>& ys,
              const KsgOptions& options = {});
 

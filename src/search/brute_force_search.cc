@@ -1,7 +1,8 @@
 #include "search/brute_force_search.h"
 
 #include <algorithm>
-#include <memory>
+#include <cmath>
+#include <cstdio>
 
 #include "mi/ksg.h"
 #include "search/evaluator.h"
@@ -20,15 +21,45 @@ SeriesPair PreparePair(const SeriesPair& pair, const TycosParams& params) {
                     TimeSeries(std::move(ys), pair.y().name()));
 }
 
+Status ValidateForSearch(const SeriesPair& pair, const TycosParams& params) {
+  Status st = params.Validate(pair.size());
+  if (!st.ok()) return st;
+  st = pair.x().Validate();
+  if (!st.ok()) return st;
+  return pair.y().Validate();
+}
+
 }  // namespace
 
-BruteForceSearch::BruteForceSearch(const SeriesPair& pair,
+BruteForceSearch::BruteForceSearch(Validated, const SeriesPair& pair,
                                    const TycosParams& params,
                                    bool use_incremental_mi)
     : pair_(PreparePair(pair, params)),
       params_(params),
-      use_incremental_mi_(use_incremental_mi) {
-  TYCOS_CHECK(params_.Validate(pair_.size()).ok());
+      use_incremental_mi_(use_incremental_mi) {}
+
+BruteForceSearch::BruteForceSearch(const SeriesPair& pair,
+                                   const TycosParams& params,
+                                   bool use_incremental_mi)
+    : BruteForceSearch(
+          [&] {
+            const Status st = ValidateForSearch(pair, params);
+            if (!st.ok()) {
+              std::fprintf(stderr, "BruteForceSearch: invalid input: %s\n",
+                           st.ToString().c_str());
+            }
+            TYCOS_CHECK(st.ok());
+            return Validated{};
+          }(),
+          pair, params, use_incremental_mi) {}
+
+Result<std::unique_ptr<BruteForceSearch>> BruteForceSearch::Create(
+    const SeriesPair& pair, const TycosParams& params,
+    bool use_incremental_mi) {
+  const Status st = ValidateForSearch(pair, params);
+  if (!st.ok()) return st;
+  return std::unique_ptr<BruteForceSearch>(
+      new BruteForceSearch(Validated{}, pair, params, use_incremental_mi));
 }
 
 int64_t BruteForceSearch::CountFeasibleWindows() const {
@@ -48,6 +79,11 @@ int64_t BruteForceSearch::CountFeasibleWindows() const {
 }
 
 BruteForceResult BruteForceSearch::Run() {
+  // The no-limit context never stops a run, so the Result is always ok.
+  return std::move(Run(RunContext::None()).value());
+}
+
+Result<BruteForceResult> BruteForceSearch::Run(const RunContext& ctx) {
   BruteForceResult result;
   std::unique_ptr<WindowEvaluator> evaluator;
   if (use_incremental_mi_ && params_.theiler_window == 0) {
@@ -61,24 +97,34 @@ BruteForceResult BruteForceSearch::Run() {
   }
 
   const int64_t n = pair_.size();
+  std::optional<StopReason> stop;
   // Scanline order (delay, start, ascending end) maximizes overlap between
   // consecutive windows for the incremental estimator: each step is a
   // single AddPoint.
-  for (int64_t tau = -params_.td_max; tau <= params_.td_max; ++tau) {
+  for (int64_t tau = -params_.td_max; tau <= params_.td_max && !stop; ++tau) {
     const int64_t start_lo = std::max<int64_t>(0, -tau);
     const int64_t end_cap = std::min(n - 1, n - 1 - tau);
     for (int64_t start = start_lo; start + params_.s_min - 1 <= end_cap;
          ++start) {
+      // Scanline-boundary poll: one scanline is at most s_max - s_min + 1
+      // evaluations, bounding how late a fired limit is noticed.
+      if ((stop = ctx.ShouldStop(result.windows_evaluated))) break;
       const int64_t end_hi = std::min(start + params_.s_max - 1, end_cap);
       for (int64_t end = start + params_.s_min - 1; end <= end_hi; ++end) {
         Window w(start, end, tau);
         w.mi = evaluator->Score(w);
+        if (!std::isfinite(w.mi)) {
+          ++result.non_finite_scores;
+          w.mi = 0.0;
+        }
         ++result.windows_evaluated;
         if (w.mi >= params_.sigma) result.raw.push_back(w);
       }
     }
   }
   result.merged = MergeOverlapping(result.raw);
+  result.partial = stop.has_value();
+  result.stop_reason = stop.value_or(StopReason::kCompleted);
   return result;
 }
 

@@ -8,7 +8,10 @@
 #define TYCOS_SEARCH_BRUTE_FORCE_SEARCH_H_
 
 #include <cstdint>
+#include <memory>
 
+#include "common/run_context.h"
+#include "common/status.h"
 #include "core/time_series.h"
 #include "core/window_set.h"
 #include "search/params.h"
@@ -22,22 +25,43 @@ struct BruteForceResult {
   // The same windows before merging.
   std::vector<Window> raw;
   int64_t windows_evaluated = 0;
+  int64_t non_finite_scores = 0;  // estimator outputs sanitized to 0
+  // True when a deadline/cancel/budget stopped the enumeration before it
+  // covered every feasible window; `raw`/`merged` hold everything confirmed
+  // up to that point.
+  bool partial = false;
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 class BruteForceSearch {
  public:
+  // Graceful construction: validates params and both series, returning
+  // InvalidArgument instead of crashing on hostile input.
+  static Result<std::unique_ptr<BruteForceSearch>> Create(
+      const SeriesPair& pair, const TycosParams& params,
+      bool use_incremental_mi = true);
+
   // `pair` is copied (and jittered per params.tie_jitter). Params must
-  // validate.
+  // validate; this is a CHECKed wrapper over the Create validation.
   BruteForceSearch(const SeriesPair& pair, const TycosParams& params,
                    bool use_incremental_mi = true);
 
   BruteForceResult Run();
+
+  // Limit-aware variant: polls `ctx` at every (delay, start) scanline
+  // boundary, so a fired limit costs at most one scanline of extra work.
+  Result<BruteForceResult> Run(const RunContext& ctx);
 
   // Number of feasible windows for the configured parameters (Lemma 1's
   // (n - s_min + 1)(s_max - s_min + 1)(2 td_max + 1) bound, exactly counted).
   int64_t CountFeasibleWindows() const;
 
  private:
+  struct Validated {};  // tag: inputs already vetted by the caller
+
+  BruteForceSearch(Validated, const SeriesPair& pair,
+                   const TycosParams& params, bool use_incremental_mi);
+
   SeriesPair pair_;
   TycosParams params_;
   bool use_incremental_mi_;

@@ -23,6 +23,7 @@ uint64_t WindowKey(const Window& w) {
 
 double NormalizeScore(double raw_mi, const SeriesPair& pair, const Window& w,
                       const TycosParams& params) {
+  if (!std::isfinite(raw_mi)) return 0.0;
   if (params.small_sample_penalty > 0.0 && w.size() > 0) {
     raw_mi -=
         params.small_sample_penalty / std::sqrt(static_cast<double>(w.size()));
@@ -55,7 +56,9 @@ BatchEvaluator::BatchEvaluator(const SeriesPair& pair,
 
 double BatchEvaluator::Score(const Window& w) {
   ++evaluations_;
-  const double raw = KsgMi(pair_, w, OptionsFrom(params_));
+  KsgOptions options = OptionsFrom(params_);
+  options.diagnostics = &diagnostics_;
+  const double raw = KsgMi(pair_, w, options);
   return NormalizeScore(raw, pair_, w, params_);
 }
 
@@ -69,9 +72,14 @@ IncrementalEvaluator::IncrementalEvaluator(const SeriesPair& pair,
 
 double IncrementalEvaluator::Score(const Window& w) {
   ++evaluations_;
-  const double raw = w.size() < small_window_threshold_
-                         ? KsgMi(pair_, w, OptionsFrom(params_))
-                         : ksg_.SetWindow(w);
+  double raw;
+  if (w.size() < small_window_threshold_) {
+    KsgOptions options = OptionsFrom(params_);
+    options.diagnostics = &diagnostics_;
+    raw = KsgMi(pair_, w, options);
+  } else {
+    raw = ksg_.SetWindow(w);
+  }
   return NormalizeScore(raw, pair_, w, params_);
 }
 

@@ -28,11 +28,15 @@ class WindowEvaluator {
   virtual ~WindowEvaluator() = default;
 
   // Correlation score of w in [0, 1] (normalized MI per the params'
-  // normalization mode). Windows smaller than k + 2 score 0.
+  // normalization mode). Windows smaller than k + 2 score 0, as do
+  // degenerate windows (constant marginal, non-finite samples).
   virtual double Score(const Window& w) = 0;
 
   // Number of MI estimations performed (cache hits excluded).
   virtual int64_t evaluations() const = 0;
+
+  // Number of degenerate windows scored 0 by the estimator guard.
+  virtual int64_t degenerate_windows() const { return 0; }
 };
 
 // Scores each window independently with the batch KSG estimator.
@@ -43,10 +47,14 @@ class BatchEvaluator : public WindowEvaluator {
 
   double Score(const Window& w) override;
   int64_t evaluations() const override { return evaluations_; }
+  int64_t degenerate_windows() const override {
+    return diagnostics_.degenerate_windows;
+  }
 
  private:
   const SeriesPair& pair_;
   const TycosParams params_;
+  KsgDiagnostics diagnostics_;
   int64_t evaluations_ = 0;
 };
 
@@ -63,6 +71,9 @@ class IncrementalEvaluator : public WindowEvaluator {
 
   double Score(const Window& w) override;
   int64_t evaluations() const override { return evaluations_; }
+  int64_t degenerate_windows() const override {
+    return diagnostics_.degenerate_windows + ksg_.stats().degenerate_windows;
+  }
 
   const IncrementalKsgStats& incremental_stats() const {
     return ksg_.stats();
@@ -72,6 +83,7 @@ class IncrementalEvaluator : public WindowEvaluator {
   const SeriesPair& pair_;
   const TycosParams params_;
   IncrementalKsg ksg_;
+  KsgDiagnostics diagnostics_;  // small-window (stateless) path counters
   int64_t small_window_threshold_;
   int64_t evaluations_ = 0;
 };
@@ -84,6 +96,9 @@ class CachingEvaluator : public WindowEvaluator {
 
   double Score(const Window& w) override;
   int64_t evaluations() const override { return inner_->evaluations(); }
+  int64_t degenerate_windows() const override {
+    return inner_->degenerate_windows();
+  }
 
   int64_t cache_hits() const { return hits_; }
 

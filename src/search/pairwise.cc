@@ -6,6 +6,43 @@
 
 namespace tycos {
 
+namespace {
+
+Status ValidateChannels(const std::vector<TimeSeries>& channels) {
+  if (channels.size() < 2) {
+    return Status::InvalidArgument(
+        "pairwise search needs at least 2 channels, got " +
+        std::to_string(channels.size()));
+  }
+  for (size_t i = 0; i < channels.size(); ++i) {
+    if (channels[i].size() != channels[0].size()) {
+      return Status::InvalidArgument(
+          "channel " + std::to_string(i) + " ('" + channels[i].name() +
+          "') has length " + std::to_string(channels[i].size()) +
+          " but channel 0 has " + std::to_string(channels[0].size()));
+    }
+    const Status st = channels[i].Validate();
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+void SortEntries(std::vector<PairwiseEntry>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const PairwiseEntry& x, const PairwiseEntry& y) {
+              if (x.best_score != y.best_score) {
+                return x.best_score > y.best_score;
+              }
+              if (x.window_count() != y.window_count()) {
+                return x.window_count() > y.window_count();
+              }
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+}
+
+}  // namespace
+
 std::vector<const PairwiseEntry*> PairwiseResult::Correlated() const {
   std::vector<const PairwiseEntry*> out;
   for (const PairwiseEntry& e : entries) {
@@ -21,37 +58,64 @@ PairwiseResult PairwiseSearch(const std::vector<TimeSeries>& channels,
   for (const TimeSeries& c : channels) {
     TYCOS_CHECK_EQ(c.size(), channels[0].size());
   }
+  // The no-limit context never stops or rejects, so the Result is always ok
+  // once the CHECKs above have passed.
+  Result<PairwiseResult> result =
+      PairwiseSearch(channels, params, variant, seed, RunContext::None());
+  TYCOS_CHECK(result.ok());
+  return std::move(result.value());
+}
+
+Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
+                                      const TycosParams& params,
+                                      TycosVariant variant, uint64_t seed,
+                                      const RunContext& ctx) {
+  Status st = ValidateChannels(channels);
+  if (!st.ok()) return st;
 
   PairwiseResult result;
   const int n = static_cast<int>(channels.size());
-  for (int a = 0; a < n; ++a) {
+  const int64_t total_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+  std::optional<StopReason> stop;
+  for (int a = 0; a < n && !stop; ++a) {
     for (int b = a + 1; b < n; ++b) {
+      // Pair-boundary poll (evaluation budgets are per pair, so only the
+      // deadline/cancel limits matter here).
+      if ((stop = ctx.ShouldStop())) break;
       PairwiseEntry entry;
       entry.a = a;
       entry.b = b;
       const SeriesPair pair(channels[static_cast<size_t>(a)],
                             channels[static_cast<size_t>(b)]);
-      Tycos search(pair, params, variant,
-                   seed + static_cast<uint64_t>(a) * 1000003u +
-                       static_cast<uint64_t>(b));
-      entry.windows = search.Run();
+      Result<std::unique_ptr<Tycos>> search =
+          Tycos::Create(pair, params, variant,
+                        seed + static_cast<uint64_t>(a) * 1000003u +
+                            static_cast<uint64_t>(b));
+      if (!search.ok()) return search.status();
+      Result<SearchOutcome> outcome = search.value()->Run(ctx);
+      if (!outcome.ok()) return outcome.status();
+      entry.windows = std::move(outcome.value().windows);
+      entry.partial = outcome.value().partial;
       for (const Window& w : entry.windows.windows()) {
         entry.best_score = std::max(entry.best_score, w.mi);
       }
+      const bool cut_short = entry.partial;
+      const StopReason reason = outcome.value().stop_reason;
       result.entries.push_back(std::move(entry));
+      // A per-pair budget exhausting is expected on every pair; only global
+      // limits (deadline, cancellation) end the whole sweep.
+      if (cut_short && (reason == StopReason::kDeadlineExceeded ||
+                        reason == StopReason::kCancelled)) {
+        stop = reason;
+        break;
+      }
     }
   }
-  std::sort(result.entries.begin(), result.entries.end(),
-            [](const PairwiseEntry& x, const PairwiseEntry& y) {
-              if (x.best_score != y.best_score) {
-                return x.best_score > y.best_score;
-              }
-              if (x.window_count() != y.window_count()) {
-                return x.window_count() > y.window_count();
-              }
-              if (x.a != y.a) return x.a < y.a;
-              return x.b < y.b;
-            });
+  SortEntries(&result.entries);
+  result.pairs_searched = static_cast<int64_t>(result.entries.size());
+  result.pairs_skipped = total_pairs - result.pairs_searched;
+  result.partial = stop.has_value() || result.pairs_skipped > 0;
+  result.stop_reason = stop.value_or(StopReason::kCompleted);
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_context.h"
+#include "common/status.h"
 #include "core/time_series.h"
 #include "core/window_set.h"
 #include "search/params.h"
@@ -22,24 +24,42 @@ struct PairwiseEntry {
   int b = 0;
   WindowSet windows;
   double best_score = 0.0;  // strongest window, 0 when none found
+  bool partial = false;     // this pair's search was cut short
 
   int64_t window_count() const { return static_cast<int64_t>(windows.size()); }
 };
 
 struct PairwiseResult {
   // One entry per unordered channel pair, sorted by best_score descending
-  // (ties broken by window count, then by (a, b)).
+  // (ties broken by window count, then by (a, b)). When the run was stopped
+  // early, pairs never reached are absent and the last-searched pair may be
+  // flagged partial; every listed window is genuinely confirmed.
   std::vector<PairwiseEntry> entries;
+  int64_t pairs_searched = 0;   // entries actually run (== entries.size())
+  int64_t pairs_skipped = 0;    // pairs never started due to an early stop
+  bool partial = false;
+  StopReason stop_reason = StopReason::kCompleted;
 
   // Entries that actually found windows.
   std::vector<const PairwiseEntry*> Correlated() const;
 };
 
 // Runs Tycos(variant) on every pair of `channels` (all must share a
-// length). Seeds are derived per pair for reproducibility.
+// length). Seeds are derived per pair for reproducibility. CHECKs on
+// invalid input; prefer the RunContext overload where input is untrusted.
 PairwiseResult PairwiseSearch(const std::vector<TimeSeries>& channels,
                               const TycosParams& params, TycosVariant variant,
                               uint64_t seed = 42);
+
+// Graceful, limit-aware variant: validates the channels (>= 2, equal
+// lengths, finite values) and params via Status instead of CHECKing, and
+// threads `ctx` through every inner search. The deadline and cancellation
+// flag are global across pairs; an evaluation budget applies per pair (each
+// search keeps its own counter — see RunContext::SetEvaluationBudget).
+Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
+                                      const TycosParams& params,
+                                      TycosVariant variant, uint64_t seed,
+                                      const RunContext& ctx);
 
 }  // namespace tycos
 

@@ -3,6 +3,18 @@
 namespace tycos {
 
 Status TycosParams::Validate(int64_t series_length) const {
+  const Status shape = ValidateShape();
+  if (!shape.ok()) return shape;
+  if (s_max > series_length) {
+    return Status::InvalidArgument("s_max exceeds the series length");
+  }
+  if (td_max >= series_length) {
+    return Status::InvalidArgument("td_max must be < series length");
+  }
+  return Status::Ok();
+}
+
+Status TycosParams::ValidateShape() const {
   if (sigma <= 0.0 || sigma > 1.0) {
     return Status::InvalidArgument("sigma must be in (0, 1]");
   }
@@ -15,13 +27,7 @@ Status TycosParams::Validate(int64_t series_length) const {
         "s_min must be >= k + 2 so the KSG estimator is defined");
   }
   if (s_min > s_max) return Status::InvalidArgument("s_min > s_max");
-  if (s_max > series_length) {
-    return Status::InvalidArgument("s_max exceeds the series length");
-  }
   if (td_max < 0) return Status::InvalidArgument("td_max must be >= 0");
-  if (td_max >= series_length) {
-    return Status::InvalidArgument("td_max must be < series length");
-  }
   if (delta < 1) return Status::InvalidArgument("delta must be >= 1");
   if (initial_delay_step < 0) {
     return Status::InvalidArgument("initial_delay_step must be >= 0");

@@ -1,6 +1,7 @@
 #include "search/tycos.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "search/top_k.h"
 
@@ -32,21 +33,22 @@ SeriesPair PreparePair(const SeriesPair& pair, const TycosParams& params) {
                     TimeSeries(std::move(ys), pair.y().name()));
 }
 
+Status ValidateForSearch(const SeriesPair& pair, const TycosParams& params) {
+  Status st = params.Validate(pair.size());
+  if (!st.ok()) return st;
+  st = pair.x().Validate();
+  if (!st.ok()) return st;
+  return pair.y().Validate();
+}
+
 }  // namespace
 
-Tycos::Tycos(const SeriesPair& pair, const TycosParams& params,
+Tycos::Tycos(Validated, const SeriesPair& pair, const TycosParams& params,
              TycosVariant variant, uint64_t seed)
     : pair_(PreparePair(pair, params)),
       params_(params),
       variant_(variant),
       rng_(seed) {
-  const Status st = params_.Validate(pair_.size());
-  if (!st.ok()) {
-    std::fprintf(stderr, "Tycos: invalid params: %s\n",
-                 st.ToString().c_str());
-  }
-  TYCOS_CHECK(st.ok());
-
   std::unique_ptr<WindowEvaluator> core;
   // Temporal (Theiler) exclusion is only implemented in the batch
   // estimator, so it overrides the M variants' incremental evaluator.
@@ -62,6 +64,45 @@ Tycos::Tycos(const SeriesPair& pair, const TycosParams& params,
   } else {
     evaluator_ = std::move(core);
   }
+}
+
+Tycos::Tycos(const SeriesPair& pair, const TycosParams& params,
+             TycosVariant variant, uint64_t seed)
+    : Tycos(
+          [&] {
+            const Status st = ValidateForSearch(pair, params);
+            if (!st.ok()) {
+              std::fprintf(stderr, "Tycos: invalid input: %s\n",
+                           st.ToString().c_str());
+            }
+            TYCOS_CHECK(st.ok());
+            return Validated{};
+          }(),
+          pair, params, variant, seed) {}
+
+Result<std::unique_ptr<Tycos>> Tycos::Create(const SeriesPair& pair,
+                                             const TycosParams& params,
+                                             TycosVariant variant,
+                                             uint64_t seed) {
+  const Status st = ValidateForSearch(pair, params);
+  if (!st.ok()) return st;
+  return std::unique_ptr<Tycos>(
+      new Tycos(Validated{}, pair, params, variant, seed));
+}
+
+void Tycos::WrapEvaluatorForTest(const EvaluatorWrapper& wrap) {
+  evaluator_ = wrap(std::move(evaluator_));
+  // The cache (if any) now lives somewhere inside the wrapped stack; the
+  // raw pointer stays valid for stats reads.
+}
+
+double Tycos::SafeScore(const Window& w) {
+  const double score = evaluator_->Score(w);
+  if (!std::isfinite(score)) {
+    ++stats_.non_finite_scores;
+    return 0.0;
+  }
+  return score;
 }
 
 std::vector<Window> Tycos::GenerateNeighbors(const Window& w, int level,
@@ -95,7 +136,8 @@ std::vector<Window> Tycos::GenerateNeighbors(const Window& w, int level,
   return out;
 }
 
-Window Tycos::Climb(const Window& w0) {
+Window Tycos::Climb(const Window& w0, const RunContext& ctx,
+                    std::optional<StopReason>* stop) {
   Window w = w0;
   Window best_seen = w0;
   LahcHistory history(params_.history_length, w0.mi);
@@ -104,6 +146,9 @@ Window Tycos::Climb(const Window& w0) {
   int level = 1;
 
   while (idle < params_.max_idle) {
+    if ((*stop = ctx.ShouldStop(evaluator_->evaluations()))) {
+      return best_seen;
+    }
     if (use_noise()) {
       stats_.noise_blocked += DetectSubsequentNoise(pair_, *evaluator_,
                                                     params_, w, w.mi, &mask);
@@ -117,7 +162,13 @@ Window Tycos::Climb(const Window& w0) {
     Window best_nb;
     bool have_best = false;
     for (Window& nb : neighbors) {
-      nb.mi = evaluator_->Score(nb);
+      // Neighbourhood-boundary poll: a deadline is honored within one
+      // evaluation, so best-so-far is returned promptly even when a single
+      // shell is expensive.
+      if ((*stop = ctx.ShouldStop(evaluator_->evaluations()))) {
+        return best_seen;
+      }
+      nb.mi = SafeScore(nb);
       if (!have_best || nb.mi > best_nb.mi) {
         best_nb = nb;
         have_best = true;
@@ -145,32 +196,48 @@ Window Tycos::Climb(const Window& w0) {
 }
 
 WindowSet Tycos::Run() {
-  WindowSet results;
+  // The no-limit context never stops a run, so the Result is always ok.
+  return std::move(Run(RunContext::None()).value().windows);
+}
+
+Result<SearchOutcome> Tycos::Run(const RunContext& ctx) {
+  SearchOutcome outcome;
+  WindowSet& results = outcome.windows;
   TopKFilter top_k(params_.top_k > 0 ? params_.top_k : 1);
   const bool dynamic_sigma = params_.top_k > 0;
   const int64_t n = pair_.size();
 
+  std::optional<StopReason> stop;
   int64_t cursor = 0;
   while (cursor + params_.s_min <= n) {
+    if ((stop = ctx.ShouldStop(evaluator_->evaluations()))) break;
     Window w0;
     if (use_noise()) {
       std::optional<Window> init = InitialNoisePruning(
           pair_, *evaluator_, params_, cursor, /*scan_delays=*/true);
       if (!init.has_value()) break;  // nothing above ε remains
       w0 = *init;
+      if (!std::isfinite(w0.mi)) {
+        ++stats_.non_finite_scores;
+        w0.mi = 0.0;
+      }
     } else {
       w0 = Window(cursor, cursor + params_.s_min - 1, 0);
-      w0.mi = evaluator_->Score(w0);
+      w0.mi = SafeScore(w0);
     }
     ++stats_.climbs;
-    const Window w = Climb(w0);
+    const Window w = Climb(w0, ctx, &stop);
 
+    // Even when the climb was interrupted, its best-so-far window is a
+    // genuinely evaluated candidate: offering it through the normal accept
+    // path keeps the partial result a valid non-nested, σ-respecting set.
     bool accepted = false;
     if (dynamic_sigma) {
       accepted = top_k.Offer(w);
     } else if (w.mi >= params_.sigma) {
       accepted = results.Insert(w);
     }
+    if (stop.has_value()) break;
     // Restart on the remaining data (Algorithm 1 line 21). The cursor always
     // advances by at least s_min so the scan terminates.
     const int64_t resume_after = accepted ? std::max(w.end, w0.end) : w0.end;
@@ -180,10 +247,14 @@ WindowSet Tycos::Run() {
   if (dynamic_sigma) {
     for (const Window& w : top_k.windows()) results.Insert(w);
   }
+  outcome.partial = stop.has_value();
+  outcome.stop_reason = stop.value_or(StopReason::kCompleted);
+  stats_.stop_reason = outcome.stop_reason;
   stats_.windows_found = static_cast<int64_t>(results.size());
   stats_.mi_evaluations = evaluator_->evaluations();
+  stats_.degenerate_windows = evaluator_->degenerate_windows();
   if (cache_ != nullptr) stats_.cache_hits = cache_->cache_hits();
-  return results;
+  return outcome;
 }
 
 }  // namespace tycos

@@ -10,10 +10,14 @@
 #define TYCOS_SEARCH_TYCOS_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
+#include "common/status.h"
 #include "core/time_series.h"
 #include "core/window_set.h"
 #include "search/evaluator.h"
@@ -35,13 +39,34 @@ struct TycosStats {
   int64_t mi_evaluations = 0;    // estimator invocations (cache misses)
   int64_t cache_hits = 0;
   int64_t windows_found = 0;
+  int64_t non_finite_scores = 0;   // evaluator outputs sanitized to 0
+  int64_t degenerate_windows = 0;  // constant/hostile windows scored 0
+  StopReason stop_reason = StopReason::kCompleted;  // why the last Run ended
+};
+
+// The result of a limit-aware run. When a deadline, cancellation, or budget
+// stops the search early, `windows` is the best-so-far result — still a
+// valid non-nested, σ-respecting WindowSet — and `partial` is true.
+struct SearchOutcome {
+  WindowSet windows;
+  bool partial = false;
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 class Tycos {
  public:
+  // Graceful construction: validates params against the pair and both
+  // series for finiteness, returning InvalidArgument instead of crashing on
+  // hostile input.
+  static Result<std::unique_ptr<Tycos>> Create(const SeriesPair& pair,
+                                               const TycosParams& params,
+                                               TycosVariant variant,
+                                               uint64_t seed = 42);
+
   // `pair` is copied (and jittered when params.tie_jitter > 0), so the
-  // engine is self-contained. Params must pass Validate(pair.size()) — this
-  // is CHECKed.
+  // engine is self-contained. A thin CHECKed wrapper over the Create
+  // validation: invalid params or non-finite series abort. Prefer Create()
+  // anywhere input is not trusted.
   Tycos(const SeriesPair& pair, const TycosParams& params,
         TycosVariant variant, uint64_t seed = 42);
 
@@ -54,13 +79,38 @@ class Tycos {
   // with the same seed-derived RNG state continuing.
   WindowSet Run();
 
+  // Limit-aware variant: polls `ctx` at climb and neighbourhood boundaries.
+  // An expired deadline / cancel / exhausted budget yields the best-so-far
+  // window set flagged partial, with the stop reason recorded both in the
+  // outcome and in stats().stop_reason.
+  Result<SearchOutcome> Run(const RunContext& ctx);
+
   const TycosStats& stats() const { return stats_; }
   const TycosParams& params() const { return params_; }
   TycosVariant variant() const { return variant_; }
 
+  // Test-only: replaces the evaluator stack with `wrap(current_stack)`,
+  // letting tests splice in a FaultInjector between the search and the
+  // estimators. See search/fault_injector.h.
+  using EvaluatorWrapper = std::function<std::unique_ptr<WindowEvaluator>(
+      std::unique_ptr<WindowEvaluator>)>;
+  void WrapEvaluatorForTest(const EvaluatorWrapper& wrap);
+
  private:
-  // One LAHC climb from w0; returns the best window seen.
-  Window Climb(const Window& w0);
+  struct Validated {};  // tag: inputs already vetted by the caller
+
+  Tycos(Validated, const SeriesPair& pair, const TycosParams& params,
+        TycosVariant variant, uint64_t seed);
+
+  // One LAHC climb from w0; returns the best window seen. Sets `*stop` and
+  // returns early (best-so-far) when `ctx` fires.
+  Window Climb(const Window& w0, const RunContext& ctx,
+               std::optional<StopReason>* stop);
+
+  // Evaluator score with the hostile-output guard: non-finite scores are
+  // recorded and sanitized to 0 so they cannot poison LAHC comparisons or
+  // the result set.
+  double SafeScore(const Window& w);
 
   // Feasible neighbours of w on the level-ℓ shell (offsets in
   // {-ℓδ, 0, +ℓδ} per axis, excluding the identity), honoring the noise

@@ -51,6 +51,68 @@ TEST(ParseCsvTest, EmptyContentYieldsEmptyTable) {
   EXPECT_EQ(result->num_columns(), 0);
 }
 
+// Regression: these tokens used to parse "successfully" into nan/inf values
+// that poisoned every estimator downstream. The default policy must reject
+// each one with a precise error instead.
+TEST(ParseCsvTest, RejectsNonFiniteTokensByDefault) {
+  for (const char* hostile : {"nan", "NaN", "inf", "-inf", "INF", "1e999",
+                              "-1e999", ""}) {
+    const auto result =
+        ParseCsv(std::string("a,b\n1,2\n3,") + hostile + "\n", true);
+    ASSERT_FALSE(result.ok()) << "token: '" << hostile << "'";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ParseCsvTest, GarbageIsAlwaysAnErrorRegardlessOfPolicy) {
+  for (DataPolicy policy : {DataPolicy::kReject, DataPolicy::kDropRow,
+                            DataPolicy::kInterpolate}) {
+    const auto result =
+        ParseCsv("a,b\n1,2\n3,1.2.3\n", true, policy, nullptr);
+    ASSERT_FALSE(result.ok()) << DataPolicyName(policy);
+    EXPECT_NE(result.status().message().find("1.2.3"), std::string::npos);
+  }
+}
+
+TEST(ParseCsvTest, DropRowPolicyRemovesHostileRows) {
+  SanitizeStats stats;
+  const auto result = ParseCsv("a,b\n1,2\nnan,3\n4,5\n6,1e999\n7,8\n", true,
+                               DataPolicy::kDropRow, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 3);
+  EXPECT_DOUBLE_EQ(result->columns[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(result->columns[0][1], 4.0);
+  EXPECT_DOUBLE_EQ(result->columns[0][2], 7.0);
+  EXPECT_EQ(stats.non_finite, 2);
+  EXPECT_EQ(stats.rows_dropped, 2);
+}
+
+TEST(ParseCsvTest, InterpolatePolicyRepairsGaps) {
+  SanitizeStats stats;
+  const auto result = ParseCsv("a\n1\n na \n3\nnull\n5\n", true,
+                               DataPolicy::kInterpolate, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 5);
+  EXPECT_DOUBLE_EQ(result->columns[0][1], 2.0);  // between 1 and 3
+  EXPECT_DOUBLE_EQ(result->columns[0][3], 4.0);  // between 3 and 5
+  EXPECT_EQ(stats.interpolated, 2);
+}
+
+TEST(ParseCsvTest, InterpolatePolicyClampsEdgeGaps) {
+  const auto result =
+      ParseCsv("a\nnan\n2\n4\ninf\n", true, DataPolicy::kInterpolate, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->columns[0][0], 2.0);  // leading gap clamps right
+  EXPECT_DOUBLE_EQ(result->columns[0][3], 4.0);  // trailing gap clamps left
+}
+
+TEST(ParseCsvTest, AllMissingColumnIsAnErrorUnderInterpolate) {
+  const auto result =
+      ParseCsv("a,b\nnan,1\nnan,2\n", true, DataPolicy::kInterpolate, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ColumnAsSeriesTest, ByIndexAndName) {
   const auto table = ParseCsv("wind,power\n1,10\n2,20\n", true);
   ASSERT_TRUE(table.ok());

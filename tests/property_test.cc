@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "core/window_set.h"
 #include "core/window_similarity.h"
 #include "datagen/relations.h"
+#include "mi/incremental_ksg.h"
 #include "mi/ksg.h"
 #include "search/brute_force_search.h"
 
@@ -90,6 +93,153 @@ TEST_P(KsgInvarianceTest, ShufflingOnePartnerDestroysMi) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KsgInvarianceTest,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Hostile estimator inputs: degenerate-but-defined behavior. The KSG
+// formula is undefined on constant marginals and tiny samples; the library
+// contract is MI = 0 (counted in diagnostics), never a degenerate kNN
+// query, a NaN, or a crash.
+// ---------------------------------------------------------------------------
+
+enum class HostileKind {
+  kConstant,      // every sample identical
+  kAllTies,       // two discrete values, every distance ties
+  kTwoSamples,    // m = 2 < k + 2
+  kNearConstant,  // spread below double epsilon granularity
+  kHugeMagnitude  // |values| ~ 1e100
+};
+
+std::vector<double> MakeHostile(HostileKind kind, uint64_t seed, size_t m) {
+  Rng rng(seed);
+  std::vector<double> v(kind == HostileKind::kTwoSamples ? 2 : m);
+  for (size_t i = 0; i < v.size(); ++i) {
+    switch (kind) {
+      case HostileKind::kConstant:
+        v[i] = 42.0;
+        break;
+      case HostileKind::kAllTies:
+        v[i] = rng.UniformInt(0, 1) ? 1.0 : 0.0;
+        break;
+      case HostileKind::kTwoSamples:
+        v[i] = rng.Normal();
+        break;
+      case HostileKind::kNearConstant:
+        v[i] = 1.0 + 1e-13 * rng.Normal();
+        break;
+      case HostileKind::kHugeMagnitude:
+        v[i] = 1e100 * rng.Normal();
+        break;
+    }
+  }
+  return v;
+}
+
+class HostileInputTest
+    : public ::testing::TestWithParam<std::tuple<HostileKind, uint64_t>> {};
+
+TEST_P(HostileInputTest, KsgAndNormalizedMiStayDefined) {
+  const auto [kind, seed] = GetParam();
+  const std::vector<double> xs = MakeHostile(kind, seed, 200);
+  const std::vector<double> ys = MakeHostile(kind, seed + 1000, 200);
+
+  KsgDiagnostics diag;
+  KsgOptions options;
+  options.diagnostics = &diag;
+  const double raw = KsgMi(xs, ys, options);
+  EXPECT_TRUE(std::isfinite(raw));
+  const double normalized = NormalizedMi(xs, ys);
+  EXPECT_TRUE(std::isfinite(normalized));
+  EXPECT_GE(normalized, 0.0);
+  EXPECT_LE(normalized, 1.0);
+
+  if (kind == HostileKind::kConstant) {
+    EXPECT_EQ(raw, 0.0);
+    EXPECT_GT(diag.degenerate_windows, 0);
+  }
+  if (kind == HostileKind::kTwoSamples) {
+    EXPECT_EQ(raw, 0.0);
+  }
+}
+
+TEST_P(HostileInputTest, HostileOnOneSideOnlyIsStillDefined) {
+  const auto [kind, seed] = GetParam();
+  const std::vector<double> xs = MakeHostile(kind, seed, 200);
+  Rng rng(seed + 7);
+  std::vector<double> ys(xs.size());
+  for (double& v : ys) v = rng.Normal();
+  const double raw = KsgMi(xs, ys);
+  EXPECT_TRUE(std::isfinite(raw));
+  if (kind == HostileKind::kConstant) {
+    EXPECT_EQ(raw, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, HostileInputTest,
+    ::testing::Combine(::testing::Values(HostileKind::kConstant,
+                                         HostileKind::kAllTies,
+                                         HostileKind::kTwoSamples,
+                                         HostileKind::kNearConstant,
+                                         HostileKind::kHugeMagnitude),
+                       ::testing::Values(101, 202, 303)));
+
+TEST(HostileInputTest, NonFiniteSamplesScoreZeroWithDiagnostics) {
+  Rng rng(9);
+  std::vector<double> xs(100), ys(100);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Normal();
+    ys[i] = xs[i] + 0.1 * rng.Normal();
+  }
+  xs[50] = std::numeric_limits<double>::quiet_NaN();
+  KsgDiagnostics diag;
+  KsgOptions options;
+  options.diagnostics = &diag;
+  EXPECT_EQ(KsgMi(xs, ys, options), 0.0);
+  EXPECT_GT(diag.non_finite_inputs, 0);
+}
+
+TEST(HostileInputTest, IncrementalSkipsDegenerateWindowsAndStaysExact) {
+  // A constant patch sits in the middle of an otherwise healthy pair. The
+  // incremental estimator must (a) score windows inside the patch as 0
+  // without touching its state, and (b) keep agreeing with the batch
+  // estimator on every healthy window visited afterwards — proving the
+  // degenerate skip cannot corrupt the incremental structures.
+  Rng rng(10);
+  const int64_t n = 400;
+  std::vector<double> xs(static_cast<size_t>(n)), ys(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.Normal();
+    ys[i] = 0.8 * xs[i] + 0.2 * rng.Normal();
+  }
+  for (int64_t i = 150; i < 250; ++i) xs[static_cast<size_t>(i)] = 3.0;
+  const SeriesPair pair{TimeSeries(xs, "x"), TimeSeries(ys, "y")};
+
+  const int k = 4;
+  IncrementalKsg inc(pair, k);
+  KsgOptions options;
+  options.k = k;
+  int64_t degenerate_seen = 0;
+  // A slide crossing healthy → constant → healthy territory.
+  for (int64_t start = 100; start + 40 <= n; start += 5) {
+    const Window w(start, start + 39, 0);
+    const double got = inc.SetWindow(w);
+    const double want = KsgMi(pair, w, options);
+    ASSERT_NEAR(got, want, 1e-9) << w.ToString();
+    if (start >= 150 && start + 39 < 250) {
+      ASSERT_EQ(got, 0.0) << w.ToString();
+      ++degenerate_seen;
+    }
+  }
+  EXPECT_GT(degenerate_seen, 0);
+  EXPECT_EQ(inc.stats().degenerate_windows, degenerate_seen);
+}
+
+TEST(HostileInputTest, IncrementalTwoSampleWindowIsZero) {
+  const SeriesPair pair{TimeSeries({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}),
+                        TimeSeries({2.0, 4.0, 1.0, 3.0, 8.0, 5.0, 7.0, 6.0})};
+  IncrementalKsg inc(pair, /*k=*/4);
+  EXPECT_EQ(inc.SetWindow(Window(0, 1, 0)), 0.0);  // m = 2 < k + 2
+}
 
 // ---------------------------------------------------------------------------
 // Window algebra properties.

@@ -1,5 +1,8 @@
 #include "search/streaming.h"
 
+#include <limits>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/window_similarity.h"
@@ -30,10 +33,12 @@ StreamingTycos StreamAll(const SeriesPair& pair, int64_t chunk,
   const auto& ys = pair.y().values();
   for (size_t at = 0; at < xs.size(); at += static_cast<size_t>(chunk)) {
     const size_t end = std::min(xs.size(), at + static_cast<size_t>(chunk));
-    stream.Append({xs.begin() + at, xs.begin() + end},
-                  {ys.begin() + at, ys.begin() + end});
+    const Status s = stream.Append({xs.begin() + at, xs.begin() + end},
+                                   {ys.begin() + at, ys.begin() + end});
+    EXPECT_TRUE(s.ok()) << s.ToString();
   }
-  stream.Flush();
+  const Status s = stream.Flush();
+  EXPECT_TRUE(s.ok()) << s.ToString();
   return stream;
 }
 
@@ -95,10 +100,48 @@ TEST(StreamingTycosTest, PureNoiseStreamYieldsNothing) {
 TEST(StreamingTycosTest, FlushHandlesShortTail) {
   StreamingTycos stream(Params(), TycosVariant::kLMN);
   std::vector<double> xs(10, 0.5), ys(10, 0.25);
-  stream.Append(xs, ys);  // below s_min: nothing searchable
-  stream.Flush();
+  ASSERT_TRUE(stream.Append(xs, ys).ok());  // below s_min: nothing searchable
+  ASSERT_TRUE(stream.Flush().ok());
   EXPECT_TRUE(stream.results().empty());
   EXPECT_EQ(stream.samples_seen(), 10);
+}
+
+TEST(StreamingTycosTest, MismatchedAppendIsAnErrorAndBuffersNothing) {
+  StreamingTycos stream(Params(), TycosVariant::kLMN);
+  std::vector<double> xs(20, 0.5), ys(19, 0.25);
+  const Status s = stream.Append(xs, ys);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("desynchronized"), std::string::npos);
+  // Nothing from the bad chunk was buffered; the stream stays usable.
+  EXPECT_EQ(stream.samples_seen(), 0);
+  ys.push_back(0.25);
+  EXPECT_TRUE(stream.Append(xs, ys).ok());
+  EXPECT_EQ(stream.samples_seen(), 20);
+}
+
+TEST(StreamingTycosTest, CreateRejectsBadConfiguration) {
+  // Trigger below s_min would search unsearchable buffers forever.
+  const auto r = StreamingTycos::Create(Params(), TycosVariant::kLMN,
+                                        /*seed=*/42, /*search_trigger=*/10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  const auto ok = StreamingTycos::Create(Params(), TycosVariant::kLMN);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)->samples_seen(), 0);
+}
+
+TEST(StreamingTycosTest, DropRowPolicySkipsHostileSamples) {
+  auto r = StreamingTycos::Create(Params(), TycosVariant::kLMN, /*seed=*/42,
+                                  /*search_trigger=*/0, DataPolicy::kDropRow);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  StreamingTycos& stream = **r;
+  std::vector<double> xs(30, 0.5), ys(30, 0.25);
+  xs[7] = std::numeric_limits<double>::quiet_NaN();
+  ys[21] = std::numeric_limits<double>::infinity();
+  ASSERT_TRUE(stream.Append(xs, ys).ok());
+  EXPECT_EQ(stream.samples_seen(), 28);  // two hostile rows dropped
+  EXPECT_EQ(stream.ingest_stats().rows_dropped, 2);
 }
 
 TEST(StreamingTycosTest, ResultsAreInGlobalCoordinates) {
