@@ -1,0 +1,147 @@
+// Parallel scaling of the pairwise fan-out: runs the full 9-channel energy
+// simulation sweep (fig. 10-scale params, ~2000 samples/channel, 36 pairs)
+// at 1/2/4/8 threads, verifies every run is bit-identical to the sequential
+// reference, and writes a machine-readable BENCH_parallel.json.
+//
+// Speedup is bounded by the host's core count; on a single-core container
+// all thread counts report ~1x. The determinism check is meaningful
+// regardless of the hardware.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/energy_sim.h"
+#include "search/pairwise.h"
+
+namespace {
+
+using namespace tycos;
+using tycos::bench::TimeIt;
+
+TycosParams Params() {
+  TycosParams p;
+  p.sigma = 0.55;
+  p.s_min = 16;
+  p.s_max = 96;
+  p.td_max = 6;
+  p.delta = 2;
+  return p;
+}
+
+bool SameResults(const PairwiseResult& a, const PairwiseResult& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    const PairwiseEntry& x = a.entries[i];
+    const PairwiseEntry& y = b.entries[i];
+    if (x.a != y.a || x.b != y.b || x.best_score != y.best_score ||
+        x.windows.size() != y.windows.size()) {
+      return false;
+    }
+    for (size_t j = 0; j < x.windows.size(); ++j) {
+      const Window& u = x.windows.windows()[j];
+      const Window& v = y.windows.windows()[j];
+      if (u.start != v.start || u.end != v.end || u.delay != v.delay ||
+          u.mi != v.mi) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+
+  datagen::EnergySimOptions opts;
+  opts.days = 7;  // ~2016 samples per channel at 5-minute resolution
+  const datagen::EnergySimulator sim(opts);
+  std::vector<TimeSeries> channels;
+  for (int c = 0; c < datagen::kNumEnergyChannels; ++c) {
+    channels.push_back(sim.Channel(static_cast<datagen::EnergyChannel>(c)));
+  }
+  const int64_t n = sim.length();
+  const int64_t total_pairs =
+      static_cast<int64_t>(channels.size() * (channels.size() - 1) / 2);
+
+  std::printf("=== Parallel pairwise scaling: %zu channels x %lld samples, "
+              "%lld pairs ===\n",
+              channels.size(), static_cast<long long>(n),
+              static_cast<long long>(total_pairs));
+  std::printf("%8s %10s %10s %10s %10s\n", "threads", "wall_s", "speedup",
+              "pairs/s", "identical");
+  tycos::bench::PrintRule(54);
+
+  struct Row {
+    int threads;
+    double wall_s;
+    double speedup;
+    double pairs_per_s;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  PairwiseResult reference;
+  double base_s = 0.0;
+
+  for (int threads : {1, 2, 4, 8}) {
+    TycosParams p = Params();
+    p.num_threads = threads;
+    PairwiseResult result;
+    const double wall_s = TimeIt(
+        [&] { result = PairwiseSearch(channels, p, TycosVariant::kLMN, 7); });
+    if (threads == 1) {
+      reference = result;
+      base_s = wall_s;
+    }
+    Row row;
+    row.threads = threads;
+    row.wall_s = wall_s;
+    row.speedup = wall_s > 0 ? base_s / wall_s : 0.0;
+    row.pairs_per_s = wall_s > 0 ? total_pairs / wall_s : 0.0;
+    row.identical = SameResults(reference, result);
+    rows.push_back(row);
+    std::printf("%8d %10.3f %9.2fx %10.1f %10s\n", row.threads, row.wall_s,
+                row.speedup, row.pairs_per_s, row.identical ? "yes" : "NO");
+  }
+
+  bool all_identical = true;
+  for (const Row& r : rows) all_identical = all_identical && r.identical;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"workload\": {\n");
+  std::fprintf(f, "    \"generator\": \"energy_sim\",\n");
+  std::fprintf(f, "    \"channels\": %zu,\n", channels.size());
+  std::fprintf(f, "    \"samples_per_channel\": %lld,\n",
+               static_cast<long long>(n));
+  std::fprintf(f, "    \"pairs\": %lld,\n",
+               static_cast<long long>(total_pairs));
+  std::fprintf(f, "    \"variant\": \"LMN\",\n");
+  std::fprintf(f, "    \"sigma\": %.2f, \"s_min\": 16, \"s_max\": 96, "
+               "\"td_max\": 6, \"delta\": 2\n",
+               Params().sigma);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"identical_results\": %s,\n",
+               all_identical ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"wall_ms\": %.1f, "
+                 "\"speedup\": %.3f, \"pairs_per_s\": %.2f}%s\n",
+                 r.threads, r.wall_s * 1000.0, r.speedup, r.pairs_per_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

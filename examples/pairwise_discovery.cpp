@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   params.td_max = 12 * 4;      // lags up to four hours
   params.initial_delay_step = 5;
   params.tie_jitter = 1e-9;
+  params.num_threads = 0;  // one worker per core; results are identical
 
   const PairwiseResult result =
       PairwiseSearch(channels, params, TycosVariant::kLMN);
@@ -45,14 +46,15 @@ int main(int argc, char** argv) {
               "windows", "best", "lag range (m)");
   const double minutes_per_sample = 60.0 / options.samples_per_hour;
   int shown = 0;
-  for (const PairwiseEntry* e : result.Correlated()) {
+  for (const size_t i : result.Correlated()) {
+    const PairwiseEntry& e = result.entries[i];
     std::printf("%-20s %-20s %8lld %8.3f %6.0f - %-6.0f\n",
-                names[static_cast<size_t>(e->a)],
-                names[static_cast<size_t>(e->b)],
-                static_cast<long long>(e->window_count()), e->best_score,
-                static_cast<double>(e->windows.MinDelay()) *
+                names[static_cast<size_t>(e.a)],
+                names[static_cast<size_t>(e.b)],
+                static_cast<long long>(e.window_count()), e.best_score,
+                static_cast<double>(e.windows.MinDelay()) *
                     minutes_per_sample,
-                static_cast<double>(e->windows.MaxDelay()) *
+                static_cast<double>(e.windows.MaxDelay()) *
                     minutes_per_sample);
     if (++shown >= 12) break;  // top correlations only
   }

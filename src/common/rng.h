@@ -11,6 +11,22 @@
 
 namespace tycos {
 
+// SplitMix64 (Steele, Lea & Flood): one full mixing round. Used to derive
+// statistically independent seed streams from a (seed, stream) pair so
+// concurrent climbs/searches can each own an Rng whose sequence depends only
+// on its logical index, never on scheduling.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Seed for logical stream `stream` of a generator rooted at `seed`.
+inline uint64_t DeriveStreamSeed(uint64_t seed, uint64_t stream) {
+  return SplitMix64(SplitMix64(seed) ^ SplitMix64(stream + 1));
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 42) : engine_(seed) {}

@@ -1,0 +1,121 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace tycos {
+
+ThreadPool::ThreadPool(int num_workers) {
+  TYCOS_CHECK_GE(num_workers, 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  TYCOS_CHECK_GT(num_workers(), 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ForStatus ThreadPool::ParallelFor(
+    int64_t n, const RunContext& ctx,
+    const std::function<std::optional<StopReason>(int64_t)>& body) {
+  struct LoopState {
+    std::atomic<int64_t> next{0};
+    std::atomic<bool> stopped{false};
+    std::atomic<int> reason{-1};  // first StopReason recorded, -1 = none
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;  // helper tasks still running
+  } state;
+
+  auto record_stop = [&state](StopReason r) {
+    int expected = -1;
+    state.reason.compare_exchange_strong(expected, static_cast<int>(r),
+                                         std::memory_order_relaxed);
+    state.stopped.store(true, std::memory_order_release);
+  };
+
+  // Every executor claims indices in order from the shared counter. A claim
+  // below n is always executed, so the executed set stays a prefix even when
+  // a stop lands mid-loop.
+  auto drain = [&state, &ctx, &body, &record_stop, n] {
+    while (!state.stopped.load(std::memory_order_acquire)) {
+      if (const std::optional<StopReason> s = ctx.ShouldStop()) {
+        record_stop(*s);
+        break;
+      }
+      const int64_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      if (const std::optional<StopReason> s = body(i)) record_stop(*s);
+    }
+  };
+
+  // No point waking more helpers than there are indices beyond the caller's
+  // own share.
+  const int helpers = static_cast<int>(
+      std::min<int64_t>(num_workers(), std::max<int64_t>(n - 1, 0)));
+  state.pending = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    Submit([&state, &drain] {
+      drain();
+      // Notify under the lock: `state` lives on the caller's stack and is
+      // destroyed as soon as the waiter observes pending == 0, so the signal
+      // must complete before this task releases the mutex.
+      std::lock_guard<std::mutex> lock(state.mu);
+      --state.pending;
+      state.cv.notify_one();
+    });
+  }
+
+  drain();
+
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&state] { return state.pending == 0; });
+  }
+
+  ForStatus status;
+  status.claimed = std::min<int64_t>(n, state.next.load());
+  const int reason = state.reason.load();
+  if (reason >= 0) status.stop = static_cast<StopReason>(reason);
+  return status;
+}
+
+}  // namespace tycos

@@ -95,7 +95,8 @@ KnnExtents IncrementalKsg::ScanKnn(const Point2& probe,
   // Max-heap of the best k candidates ordered by (distance, slot) — the same
   // deterministic tie-break as the batch backends.
   using Cand = std::pair<double, size_t>;
-  std::vector<Cand> heap;
+  std::vector<Cand>& heap = knn_scratch_;
+  heap.clear();
   heap.reserve(static_cast<size_t>(k_) + 1);
   for (size_t j = 0; j < points_.size(); ++j) {
     if (j == exclude_slot) continue;
@@ -148,7 +149,9 @@ void IncrementalKsg::Rebuild(const Window& w) {
   }
   has_window_ = true;
 
-  std::vector<Point2> pts(static_cast<size_t>(m));
+  std::vector<Point2>& pts = rebuild_scratch_;
+  pts.clear();
+  pts.resize(static_cast<size_t>(m));
   for (int64_t i = 0; i < m; ++i) {
     pts[static_cast<size_t>(i)] = PointAt(start_ + i, delay_);
     x_index_.Insert(pts[static_cast<size_t>(i)].x);
@@ -180,7 +183,8 @@ void IncrementalKsg::AddPoint(int64_t global_index) {
 
   // Classify existing points: IR hit -> kNN recompute; IMR hit -> count bump
   // (Lemmas 3 and 5).
-  std::vector<size_t> to_recompute;
+  std::vector<size_t>& to_recompute = recompute_scratch_;
+  to_recompute.clear();
   for (size_t j = 0; j < points_.size(); ++j) {
     PointState& p = points_[j];
     // IR membership is tested with the same ChebyshevDistance computation
@@ -257,7 +261,8 @@ void IncrementalKsg::RemovePoint(int64_t global_index) {
   }
 
   // Classify survivors against the removed point (Lemmas 4 and 6).
-  std::vector<size_t> to_recompute;
+  std::vector<size_t>& to_recompute = recompute_scratch_;
+  to_recompute.clear();
   for (size_t j = 0; j < points_.size(); ++j) {
     PointState& p = points_[j];
     // Same exact-distance IR test as in AddPoint (see comment there).

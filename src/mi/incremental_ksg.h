@@ -128,6 +128,14 @@ class IncrementalKsg {
   RankIndex y_index_;
   double sum_psi_ = 0.0;  // Σ ψ(nx_i) + ψ(ny_i) over active points
 
+  // Reusable scratch, hoisted out of the per-slide hot path so steady-state
+  // add/remove/scan cycles allocate nothing. Each buffer is cleared (never
+  // shrunk) at its use site; knn_scratch_ is mutable because the const
+  // ScanKnn uses it as its candidate heap.
+  std::vector<size_t> recompute_scratch_;            // IR-hit slots
+  mutable std::vector<std::pair<double, size_t>> knn_scratch_;
+  std::vector<Point2> rebuild_scratch_;              // window points
+
   IncrementalKsgStats stats_;
 };
 

@@ -1,8 +1,10 @@
 #include "search/pairwise.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace tycos {
 
@@ -27,6 +29,12 @@ Status ValidateChannels(const std::vector<TimeSeries>& channels) {
   return Status::Ok();
 }
 
+// The per-pair seed; kept stable across releases so stored results stay
+// reproducible.
+uint64_t PairSeed(uint64_t seed, int a, int b) {
+  return seed + static_cast<uint64_t>(a) * 1000003u + static_cast<uint64_t>(b);
+}
+
 void SortEntries(std::vector<PairwiseEntry>* entries) {
   std::sort(entries->begin(), entries->end(),
             [](const PairwiseEntry& x, const PairwiseEntry& y) {
@@ -43,10 +51,10 @@ void SortEntries(std::vector<PairwiseEntry>* entries) {
 
 }  // namespace
 
-std::vector<const PairwiseEntry*> PairwiseResult::Correlated() const {
-  std::vector<const PairwiseEntry*> out;
-  for (const PairwiseEntry& e : entries) {
-    if (!e.windows.empty()) out.push_back(&e);
+std::vector<size_t> PairwiseResult::Correlated() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (!entries[i].windows.empty()) out.push_back(i);
   }
   return out;
 }
@@ -72,50 +80,92 @@ Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
                                       const RunContext& ctx) {
   Status st = ValidateChannels(channels);
   if (!st.ok()) return st;
+  // Params are identical for every pair; validating once up front keeps the
+  // fan-out free of per-pair construction failures.
+  st = params.Validate(channels[0].size());
+  if (!st.ok()) return st;
 
-  PairwiseResult result;
   const int n = static_cast<int>(channels.size());
   const int64_t total_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
-  std::optional<StopReason> stop;
-  for (int a = 0; a < n && !stop; ++a) {
-    for (int b = a + 1; b < n; ++b) {
-      // Pair-boundary poll (evaluation budgets are per pair, so only the
-      // deadline/cancel limits matter here).
-      if ((stop = ctx.ShouldStop())) break;
-      PairwiseEntry entry;
-      entry.a = a;
-      entry.b = b;
-      const SeriesPair pair(channels[static_cast<size_t>(a)],
-                            channels[static_cast<size_t>(b)]);
-      Result<std::unique_ptr<Tycos>> search =
-          Tycos::Create(pair, params, variant,
-                        seed + static_cast<uint64_t>(a) * 1000003u +
-                            static_cast<uint64_t>(b));
-      if (!search.ok()) return search.status();
-      Result<SearchOutcome> outcome = search.value()->Run(ctx);
-      if (!outcome.ok()) return outcome.status();
-      entry.windows = std::move(outcome.value().windows);
-      entry.partial = outcome.value().partial;
-      for (const Window& w : entry.windows.windows()) {
-        entry.best_score = std::max(entry.best_score, w.mi);
-      }
-      const bool cut_short = entry.partial;
-      const StopReason reason = outcome.value().stop_reason;
-      result.entries.push_back(std::move(entry));
-      // A per-pair budget exhausting is expected on every pair; only global
-      // limits (deadline, cancellation) end the whole sweep.
-      if (cut_short && (reason == StopReason::kDeadlineExceeded ||
-                        reason == StopReason::kCancelled)) {
-        stop = reason;
-        break;
-      }
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(total_pairs));
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) pairs.emplace_back(a, b);
+  }
+
+  // Each slot is written only by the executor that claimed its pair and read
+  // only after the join; claimed slots are always fully written (a stop
+  // never leaves one torn).
+  struct Slot {
+    PairwiseEntry entry;
+    Status status = Status::Ok();
+  };
+  std::vector<Slot> slots(static_cast<size_t>(total_pairs));
+
+  // Inner searches stay sequential: the pair level is where the parallelism
+  // lives, and nested pools would oversubscribe (results are thread-count
+  // invariant either way).
+  TycosParams inner = params;
+  inner.num_threads = 1;
+
+  const int threads = std::min<int64_t>(
+      ThreadPool::ResolveThreadCount(params.num_threads), total_pairs);
+  ThreadPool pool(threads - 1);
+  const ThreadPool::ForStatus fs = pool.ParallelFor(
+      total_pairs, ctx, [&](int64_t p) -> std::optional<StopReason> {
+        Slot& slot = slots[static_cast<size_t>(p)];
+        const auto [a, b] = pairs[static_cast<size_t>(p)];
+        PairwiseEntry& entry = slot.entry;
+        entry.a = a;
+        entry.b = b;
+        const SeriesPair pair(channels[static_cast<size_t>(a)],
+                              channels[static_cast<size_t>(b)]);
+        Result<std::unique_ptr<Tycos>> search =
+            Tycos::Create(pair, inner, variant, PairSeed(seed, a, b));
+        if (!search.ok()) {
+          // Halt further claims; the recorded status (not this reason) is
+          // what the caller sees.
+          slot.status = search.status();
+          return StopReason::kCancelled;
+        }
+        Result<SearchOutcome> outcome = search.value()->Run(ctx);
+        if (!outcome.ok()) {
+          slot.status = outcome.status();
+          return StopReason::kCancelled;
+        }
+        entry.windows = std::move(outcome.value().windows);
+        entry.partial = outcome.value().partial;
+        for (const Window& w : entry.windows.windows()) {
+          entry.best_score = std::max(entry.best_score, w.mi);
+        }
+        // A per-pair budget exhausting is expected on every pair; only
+        // global limits (deadline, cancellation) end the whole sweep.
+        const StopReason reason = outcome.value().stop_reason;
+        if (entry.partial && (reason == StopReason::kDeadlineExceeded ||
+                              reason == StopReason::kCancelled)) {
+          return reason;
+        }
+        return std::nullopt;
+      });
+
+  // First error in pair order wins (deterministic at any thread count once
+  // the error itself is deterministic).
+  for (int64_t p = 0; p < fs.claimed; ++p) {
+    if (!slots[static_cast<size_t>(p)].status.ok()) {
+      return slots[static_cast<size_t>(p)].status;
     }
+  }
+
+  PairwiseResult result;
+  result.entries.reserve(static_cast<size_t>(fs.claimed));
+  for (int64_t p = 0; p < fs.claimed; ++p) {
+    result.entries.push_back(std::move(slots[static_cast<size_t>(p)].entry));
   }
   SortEntries(&result.entries);
   result.pairs_searched = static_cast<int64_t>(result.entries.size());
   result.pairs_skipped = total_pairs - result.pairs_searched;
-  result.partial = stop.has_value() || result.pairs_skipped > 0;
-  result.stop_reason = stop.value_or(StopReason::kCompleted);
+  result.partial = fs.stop.has_value() || result.pairs_skipped > 0;
+  result.stop_reason = fs.stop.value_or(StopReason::kCompleted);
   return result;
 }
 

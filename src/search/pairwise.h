@@ -32,21 +32,30 @@ struct PairwiseEntry {
 struct PairwiseResult {
   // One entry per unordered channel pair, sorted by best_score descending
   // (ties broken by window count, then by (a, b)). When the run was stopped
-  // early, pairs never reached are absent and the last-searched pair may be
-  // flagged partial; every listed window is genuinely confirmed.
+  // early, pairs never reached are absent and pairs in flight at the stop
+  // are flagged partial; every listed window is genuinely confirmed.
   std::vector<PairwiseEntry> entries;
   int64_t pairs_searched = 0;   // entries actually run (== entries.size())
   int64_t pairs_skipped = 0;    // pairs never started due to an early stop
   bool partial = false;
   StopReason stop_reason = StopReason::kCompleted;
 
-  // Entries that actually found windows.
-  std::vector<const PairwiseEntry*> Correlated() const;
+  // Indices into `entries` of the pairs that actually found windows.
+  // Index-based on purpose: a PairwiseResult is freely copyable/movable, and
+  // indices stay valid across copies where pointers into `entries` would
+  // dangle.
+  std::vector<size_t> Correlated() const;
 };
 
 // Runs Tycos(variant) on every pair of `channels` (all must share a
 // length). Seeds are derived per pair for reproducibility. CHECKs on
 // invalid input; prefer the RunContext overload where input is untrusted.
+//
+// When params.num_threads != 1 the pairs are fanned across a thread pool.
+// Each pair owns its search (seed, evaluator, incremental-KSG state), pairs
+// are claimed in (a, b) order, and entries are merged in pair order before
+// the final sort — so the result is bit-identical to the sequential run at
+// any thread count.
 PairwiseResult PairwiseSearch(const std::vector<TimeSeries>& channels,
                               const TycosParams& params, TycosVariant variant,
                               uint64_t seed = 42);
@@ -54,8 +63,10 @@ PairwiseResult PairwiseSearch(const std::vector<TimeSeries>& channels,
 // Graceful, limit-aware variant: validates the channels (>= 2, equal
 // lengths, finite values) and params via Status instead of CHECKing, and
 // threads `ctx` through every inner search. The deadline and cancellation
-// flag are global across pairs; an evaluation budget applies per pair (each
-// search keeps its own counter — see RunContext::SetEvaluationBudget).
+// flag are global across pairs (a stop halts every worker within one window
+// evaluation and no further pairs are claimed); an evaluation budget
+// applies per pair (each search keeps its own counter — see
+// RunContext::SetEvaluationBudget).
 Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
                                       const TycosParams& params,
                                       TycosVariant variant, uint64_t seed,

@@ -40,6 +40,9 @@ Status TycosParams::ValidateShape() const {
     return Status::InvalidArgument("max_neighborhood_level must be >= 1");
   }
   if (top_k < 0) return Status::InvalidArgument("top_k must be >= 0");
+  if (num_restarts < 0) {
+    return Status::InvalidArgument("num_restarts must be >= 0");
+  }
   if (tie_jitter < 0.0) {
     return Status::InvalidArgument("tie_jitter must be >= 0");
   }

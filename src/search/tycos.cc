@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "search/top_k.h"
 
 namespace tycos {
@@ -43,12 +44,8 @@ Status ValidateForSearch(const SeriesPair& pair, const TycosParams& params) {
 
 }  // namespace
 
-Tycos::Tycos(Validated, const SeriesPair& pair, const TycosParams& params,
-             TycosVariant variant, uint64_t seed)
-    : pair_(PreparePair(pair, params)),
-      params_(params),
-      variant_(variant),
-      rng_(seed) {
+Tycos::EvaluatorStack Tycos::BuildEvaluator() const {
+  EvaluatorStack stack;
   std::unique_ptr<WindowEvaluator> core;
   // Temporal (Theiler) exclusion is only implemented in the batch
   // estimator, so it overrides the M variants' incremental evaluator.
@@ -59,11 +56,24 @@ Tycos::Tycos(Validated, const SeriesPair& pair, const TycosParams& params,
   }
   if (params_.cache_evaluations) {
     auto caching = std::make_unique<CachingEvaluator>(std::move(core));
-    cache_ = caching.get();
-    evaluator_ = std::move(caching);
+    stack.cache = caching.get();
+    stack.evaluator = std::move(caching);
   } else {
-    evaluator_ = std::move(core);
+    stack.evaluator = std::move(core);
   }
+  return stack;
+}
+
+Tycos::Tycos(Validated, const SeriesPair& pair, const TycosParams& params,
+             TycosVariant variant, uint64_t seed)
+    : pair_(PreparePair(pair, params)),
+      params_(params),
+      variant_(variant),
+      seed_(seed),
+      rng_(seed) {
+  EvaluatorStack stack = BuildEvaluator();
+  cache_ = stack.cache;
+  evaluator_ = std::move(stack.evaluator);
 }
 
 Tycos::Tycos(const SeriesPair& pair, const TycosParams& params,
@@ -93,13 +103,15 @@ Result<std::unique_ptr<Tycos>> Tycos::Create(const SeriesPair& pair,
 void Tycos::WrapEvaluatorForTest(const EvaluatorWrapper& wrap) {
   evaluator_ = wrap(std::move(evaluator_));
   // The cache (if any) now lives somewhere inside the wrapped stack; the
-  // raw pointer stays valid for stats reads.
+  // raw pointer stays valid for stats reads. Multi-restart climbs each call
+  // the wrapper again on their private stack.
+  test_wrapper_ = wrap;
 }
 
-double Tycos::SafeScore(const Window& w) {
-  const double score = evaluator_->Score(w);
+double Tycos::SafeScore(const ClimbContext& cc, const Window& w) const {
+  const double score = cc.evaluator->Score(w);
   if (!std::isfinite(score)) {
-    ++stats_.non_finite_scores;
+    ++cc.stats->non_finite_scores;
     return 0.0;
   }
   return score;
@@ -136,8 +148,9 @@ std::vector<Window> Tycos::GenerateNeighbors(const Window& w, int level,
   return out;
 }
 
-Window Tycos::Climb(const Window& w0, const RunContext& ctx,
-                    std::optional<StopReason>* stop) {
+Window Tycos::Climb(const ClimbContext& cc, const Window& w0,
+                    const RunContext& ctx,
+                    std::optional<StopReason>* stop) const {
   Window w = w0;
   Window best_seen = w0;
   LahcHistory history(params_.history_length, w0.mi);
@@ -146,12 +159,12 @@ Window Tycos::Climb(const Window& w0, const RunContext& ctx,
   int level = 1;
 
   while (idle < params_.max_idle) {
-    if ((*stop = ctx.ShouldStop(evaluator_->evaluations()))) {
+    if ((*stop = ctx.ShouldStop(cc.evaluator->evaluations()))) {
       return best_seen;
     }
     if (use_noise()) {
-      stats_.noise_blocked += DetectSubsequentNoise(pair_, *evaluator_,
-                                                    params_, w, w.mi, &mask);
+      cc.stats->noise_blocked += DetectSubsequentNoise(
+          pair_, *cc.evaluator, params_, w, w.mi, &mask);
     }
     std::vector<Window> neighbors = GenerateNeighbors(w, level, mask);
     if (neighbors.empty()) {
@@ -165,16 +178,16 @@ Window Tycos::Climb(const Window& w0, const RunContext& ctx,
       // Neighbourhood-boundary poll: a deadline is honored within one
       // evaluation, so best-so-far is returned promptly even when a single
       // shell is expensive.
-      if ((*stop = ctx.ShouldStop(evaluator_->evaluations()))) {
+      if ((*stop = ctx.ShouldStop(cc.evaluator->evaluations()))) {
         return best_seen;
       }
-      nb.mi = SafeScore(nb);
+      nb.mi = SafeScore(cc, nb);
       if (!have_best || nb.mi > best_nb.mi) {
         best_nb = nb;
         have_best = true;
       }
     }
-    const size_t slot = history.SampleSlot(rng_);
+    const size_t slot = history.SampleSlot(*cc.rng);
     const double history_value = history.ValueAt(slot);
     if (best_nb.mi > history_value || best_nb.mi > w.mi) {
       // Policy 1: accept (possibly sideways/downhill through the history).
@@ -182,13 +195,13 @@ Window Tycos::Climb(const Window& w0, const RunContext& ctx,
       idle = 0;
       level = 1;
       mask.Reset();  // the local context moved; re-derive noise directions
-      ++stats_.accepted_moves;
+      ++cc.stats->accepted_moves;
       if (w.mi > best_seen.mi) best_seen = w;
     } else {
       // Policy 2: no improvement in this neighbourhood; widen it.
       ++idle;
       level = std::min(level + 1, params_.max_neighborhood_level);
-      ++stats_.rejected_moves;
+      ++cc.stats->rejected_moves;
     }
     if (w.mi > history.ValueAt(slot)) history.Update(slot, w.mi);
   }
@@ -201,11 +214,14 @@ WindowSet Tycos::Run() {
 }
 
 Result<SearchOutcome> Tycos::Run(const RunContext& ctx) {
+  if (params_.num_restarts > 0) return RunMultiRestart(ctx);
+
   SearchOutcome outcome;
   WindowSet& results = outcome.windows;
   TopKFilter top_k(params_.top_k > 0 ? params_.top_k : 1);
   const bool dynamic_sigma = params_.top_k > 0;
   const int64_t n = pair_.size();
+  const ClimbContext cc{evaluator_.get(), &rng_, &stats_};
 
   std::optional<StopReason> stop;
   int64_t cursor = 0;
@@ -223,10 +239,10 @@ Result<SearchOutcome> Tycos::Run(const RunContext& ctx) {
       }
     } else {
       w0 = Window(cursor, cursor + params_.s_min - 1, 0);
-      w0.mi = SafeScore(w0);
+      w0.mi = SafeScore(cc, w0);
     }
     ++stats_.climbs;
-    const Window w = Climb(w0, ctx, &stop);
+    const Window w = Climb(cc, w0, ctx, &stop);
 
     // Even when the climb was interrupted, its best-so-far window is a
     // genuinely evaluated candidate: offering it through the normal accept
@@ -254,6 +270,114 @@ Result<SearchOutcome> Tycos::Run(const RunContext& ctx) {
   stats_.mi_evaluations = evaluator_->evaluations();
   stats_.degenerate_windows = evaluator_->degenerate_windows();
   if (cache_ != nullptr) stats_.cache_hits = cache_->cache_hits();
+  return outcome;
+}
+
+Result<SearchOutcome> Tycos::RunMultiRestart(const RunContext& ctx) {
+  const int64_t n = pair_.size();
+  const int restarts = params_.num_restarts;
+  // Valid start cursors are [0, n - s_min]; params validation guarantees
+  // s_min <= s_max <= n, so there is at least one.
+  const int64_t usable = n - params_.s_min + 1;
+
+  // Everything a climb produces, written only by the executor that claimed
+  // its index and read only after the ParallelFor join.
+  struct ClimbResult {
+    bool has_window = false;
+    Window window;
+    TycosStats stats;  // this climb's counters only
+    std::optional<StopReason> stop;
+  };
+  std::vector<ClimbResult> climbs(static_cast<size_t>(restarts));
+
+  const int threads = std::min<int64_t>(
+      ThreadPool::ResolveThreadCount(params_.num_threads), restarts);
+  ThreadPool pool(threads - 1);
+  const ThreadPool::ForStatus fs = pool.ParallelFor(
+      restarts, ctx, [&](int64_t r) -> std::optional<StopReason> {
+        ClimbResult& out = climbs[static_cast<size_t>(r)];
+        EvaluatorStack stack = BuildEvaluator();
+        if (test_wrapper_) {
+          stack.evaluator = test_wrapper_(std::move(stack.evaluator));
+        }
+        Rng rng(DeriveStreamSeed(seed_, static_cast<uint64_t>(r)));
+        const int64_t cursor = r * usable / restarts;
+
+        Window w0;
+        bool have_start = false;
+        if (use_noise()) {
+          std::optional<Window> init = InitialNoisePruning(
+              pair_, *stack.evaluator, params_, cursor, /*scan_delays=*/true);
+          if (init.has_value()) {
+            w0 = *init;
+            if (!std::isfinite(w0.mi)) {
+              ++out.stats.non_finite_scores;
+              w0.mi = 0.0;
+            }
+            have_start = true;
+          }
+        } else {
+          w0 = Window(cursor, cursor + params_.s_min - 1, 0);
+          const ClimbContext cc{stack.evaluator.get(), &rng, &out.stats};
+          w0.mi = SafeScore(cc, w0);
+          have_start = true;
+        }
+
+        if (have_start) {
+          ++out.stats.climbs;
+          const ClimbContext cc{stack.evaluator.get(), &rng, &out.stats};
+          out.window = Climb(cc, w0, ctx, &out.stop);
+          out.has_window = true;
+        }
+        out.stats.mi_evaluations = stack.evaluator->evaluations();
+        out.stats.degenerate_windows = stack.evaluator->degenerate_windows();
+        if (stack.cache != nullptr) {
+          out.stats.cache_hits = stack.cache->cache_hits();
+        }
+        // A per-climb budget exhausting is local (every climb carries the
+        // same budget); only global limits end the whole run.
+        if (out.stop == StopReason::kDeadlineExceeded ||
+            out.stop == StopReason::kCancelled) {
+          return out.stop;
+        }
+        return std::nullopt;
+      });
+
+  // Merge in climb-index order — never completion order — so the result set
+  // and the summed stats are bit-identical at every thread count.
+  SearchOutcome outcome;
+  TopKFilter top_k(params_.top_k > 0 ? params_.top_k : 1);
+  const bool dynamic_sigma = params_.top_k > 0;
+  std::optional<StopReason> stop;
+  for (int64_t r = 0; r < fs.claimed; ++r) {
+    const ClimbResult& c = climbs[static_cast<size_t>(r)];
+    stats_.climbs += c.stats.climbs;
+    stats_.accepted_moves += c.stats.accepted_moves;
+    stats_.rejected_moves += c.stats.rejected_moves;
+    stats_.noise_blocked += c.stats.noise_blocked;
+    stats_.mi_evaluations += c.stats.mi_evaluations;
+    stats_.cache_hits += c.stats.cache_hits;
+    stats_.non_finite_scores += c.stats.non_finite_scores;
+    stats_.degenerate_windows += c.stats.degenerate_windows;
+    if (c.stop.has_value() && !stop.has_value()) stop = c.stop;
+    if (!c.has_window) continue;
+    if (dynamic_sigma) {
+      top_k.Offer(c.window);
+    } else if (c.window.mi >= params_.sigma) {
+      outcome.windows.Insert(c.window);
+    }
+  }
+  if (dynamic_sigma) {
+    for (const Window& w : top_k.windows()) outcome.windows.Insert(w);
+  }
+
+  // Reasons recorded by climbs are taken in index order; a stop only the
+  // claim-level poll observed (no climb ran into it) comes last.
+  if (!stop.has_value()) stop = fs.stop;
+  outcome.partial = stop.has_value() || fs.claimed < restarts;
+  outcome.stop_reason = stop.value_or(StopReason::kCompleted);
+  stats_.stop_reason = outcome.stop_reason;
+  stats_.windows_found = static_cast<int64_t>(outcome.windows.size());
   return outcome;
 }
 

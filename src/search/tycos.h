@@ -83,6 +83,15 @@ class Tycos {
   // An expired deadline / cancel / exhausted budget yields the best-so-far
   // window set flagged partial, with the stop reason recorded both in the
   // outcome and in stats().stop_reason.
+  //
+  // When params.num_restarts > 0 this dispatches to the multi-restart
+  // engine: independent climbs from stratified start positions, fanned
+  // across params.num_threads executors, each climb owning its evaluator
+  // stack and a SplitMix-derived RNG stream. Candidate windows are merged
+  // into the result set in climb-index order and per-climb stats are summed
+  // at join, so the outcome (windows *and* stats) is bit-identical at any
+  // thread count. The evaluation budget then applies per climb;
+  // deadline/cancel stop every climb.
   Result<SearchOutcome> Run(const RunContext& ctx);
 
   const TycosStats& stats() const { return stats_; }
@@ -102,15 +111,36 @@ class Tycos {
   Tycos(Validated, const SeriesPair& pair, const TycosParams& params,
         TycosVariant variant, uint64_t seed);
 
+  // The per-climb execution state a climb reads and mutates. The sequential
+  // scan binds it to the member evaluator/rng/stats; each multi-restart
+  // climb owns a private set, which is what makes climbs safe to run
+  // concurrently.
+  struct ClimbContext {
+    WindowEvaluator* evaluator;
+    Rng* rng;
+    TycosStats* stats;
+  };
+
+  // An evaluator stack as the constructor builds it (incremental or batch
+  // core, optional cache), plus a view on the cache for stats reads.
+  struct EvaluatorStack {
+    std::unique_ptr<WindowEvaluator> evaluator;
+    CachingEvaluator* cache = nullptr;
+  };
+  EvaluatorStack BuildEvaluator() const;
+
+  // The multi-restart engine behind Run(ctx) when params.num_restarts > 0.
+  Result<SearchOutcome> RunMultiRestart(const RunContext& ctx);
+
   // One LAHC climb from w0; returns the best window seen. Sets `*stop` and
   // returns early (best-so-far) when `ctx` fires.
-  Window Climb(const Window& w0, const RunContext& ctx,
-               std::optional<StopReason>* stop);
+  Window Climb(const ClimbContext& cc, const Window& w0, const RunContext& ctx,
+               std::optional<StopReason>* stop) const;
 
   // Evaluator score with the hostile-output guard: non-finite scores are
   // recorded and sanitized to 0 so they cannot poison LAHC comparisons or
   // the result set.
-  double SafeScore(const Window& w);
+  double SafeScore(const ClimbContext& cc, const Window& w) const;
 
   // Feasible neighbours of w on the level-ℓ shell (offsets in
   // {-ℓδ, 0, +ℓδ} per axis, excluding the identity), honoring the noise
@@ -129,10 +159,15 @@ class Tycos {
   SeriesPair pair_;  // local (possibly jittered) copy
   TycosParams params_;
   TycosVariant variant_;
+  uint64_t seed_;
   Rng rng_;
 
   std::unique_ptr<WindowEvaluator> evaluator_;
   CachingEvaluator* cache_ = nullptr;  // view into evaluator_ when caching
+
+  // Test wrapper re-applied to each per-climb evaluator stack in
+  // multi-restart mode (one wrapper instance per climb).
+  EvaluatorWrapper test_wrapper_;
 
   TycosStats stats_;
 };

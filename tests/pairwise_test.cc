@@ -46,10 +46,10 @@ TEST(PairwiseSearchTest, UnrelatedPairsFindNothing) {
   const auto channels = MakeChannels(2);
   const PairwiseResult r =
       PairwiseSearch(channels, Params(), TycosVariant::kLMN);
-  const auto correlated = r.Correlated();
+  const std::vector<size_t> correlated = r.Correlated();
   ASSERT_EQ(correlated.size(), 1u);
-  EXPECT_EQ(correlated[0]->a, 0);
-  EXPECT_EQ(correlated[0]->b, 1);
+  EXPECT_EQ(r.entries[correlated[0]].a, 0);
+  EXPECT_EQ(r.entries[correlated[0]].b, 1);
 }
 
 TEST(PairwiseSearchTest, CoversAllUnorderedPairs) {

@@ -1,0 +1,157 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tycos {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCountPassesExplicitValues) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(8), 8);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountAutoIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.num_workers(), 3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] {
+        if (done.fetch_add(1) + 1 == 50) cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait_for(lock, std::chrono::seconds(30),
+                [&] { return done.load() == 50; });
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEachIndexExactlyOnce) {
+  for (int workers : {0, 1, 3, 7}) {
+    const int64_t n = 200;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ThreadPool pool(workers);
+    const ThreadPool::ForStatus fs = pool.ParallelFor(
+        n, RunContext::None(), [&](int64_t i) -> std::optional<StopReason> {
+          hits[static_cast<size_t>(i)].fetch_add(1);
+          return std::nullopt;
+        });
+    EXPECT_EQ(fs.claimed, n) << "workers=" << workers;
+    EXPECT_FALSE(fs.stop.has_value());
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "workers=" << workers << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  const ThreadPool::ForStatus fs = pool.ParallelFor(
+      0, RunContext::None(), [&](int64_t) -> std::optional<StopReason> {
+        ++calls;
+        return std::nullopt;
+      });
+  EXPECT_EQ(fs.claimed, 0);
+  EXPECT_EQ(calls, 0);
+  EXPECT_FALSE(fs.stop.has_value());
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsPreCancelledContext) {
+  RunContext ctx;
+  ctx.RequestCancel();
+  ThreadPool pool(2);
+  int calls = 0;
+  const ThreadPool::ForStatus fs =
+      pool.ParallelFor(100, ctx, [&](int64_t) -> std::optional<StopReason> {
+        ++calls;
+        return std::nullopt;
+      });
+  EXPECT_EQ(fs.claimed, 0);
+  EXPECT_EQ(calls, 0);
+  ASSERT_TRUE(fs.stop.has_value());
+  EXPECT_EQ(*fs.stop, StopReason::kCancelled);
+}
+
+TEST(ThreadPoolTest, BodyReportedStopHaltsFurtherClaims) {
+  // Sequential (0 workers): index 3 reports a stop, so exactly 4 indices run.
+  ThreadPool pool(0);
+  std::vector<int> ran;
+  const ThreadPool::ForStatus fs = pool.ParallelFor(
+      100, RunContext::None(), [&](int64_t i) -> std::optional<StopReason> {
+        ran.push_back(static_cast<int>(i));
+        if (i == 3) return StopReason::kDeadlineExceeded;
+        return std::nullopt;
+      });
+  EXPECT_EQ(fs.claimed, 4);
+  EXPECT_EQ(ran, (std::vector<int>{0, 1, 2, 3}));
+  ASSERT_TRUE(fs.stop.has_value());
+  EXPECT_EQ(*fs.stop, StopReason::kDeadlineExceeded);
+}
+
+TEST(ThreadPoolTest, ClaimedIndicesFormAPrefixUnderConcurrentStop) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ThreadPool pool(4);
+    const ThreadPool::ForStatus fs = pool.ParallelFor(
+        n, RunContext::None(), [&](int64_t i) -> std::optional<StopReason> {
+          hits[static_cast<size_t>(i)].fetch_add(1);
+          if (i == 37) return StopReason::kCancelled;
+          return std::nullopt;
+        });
+    // Every index below `claimed` ran exactly once; none at or above it ran.
+    ASSERT_GE(fs.claimed, 38);
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), i < fs.claimed ? 1 : 0)
+          << "trial=" << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, MidLoopCancellationStopsClaims) {
+  RunContext ctx;
+  std::atomic<int64_t> started{0};
+  ThreadPool pool(2);
+  const ThreadPool::ForStatus fs =
+      pool.ParallelFor(100000, ctx, [&](int64_t) -> std::optional<StopReason> {
+        if (started.fetch_add(1) == 10) ctx.RequestCancel();
+        return std::nullopt;
+      });
+  EXPECT_LT(fs.claimed, 100000);
+  EXPECT_EQ(started.load(), fs.claimed);
+  ASSERT_TRUE(fs.stop.has_value());
+  EXPECT_EQ(*fs.stop, StopReason::kCancelled);
+}
+
+}  // namespace
+}  // namespace tycos
