@@ -21,7 +21,10 @@ void BM_FftPowerOfTwo(benchmark::State& state) {
     benchmark::DoNotOptimize(copy.data());
   }
 }
-BENCHMARK(BM_FftPowerOfTwo)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FftPowerOfTwo)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_FftBluestein(benchmark::State& state) {
   Rng rng(2);
@@ -31,7 +34,10 @@ void BM_FftBluestein(benchmark::State& state) {
     benchmark::DoNotOptimize(FftAnySize(data, false));
   }
 }
-BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(12289)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FftBluestein)
+    ->Arg(1000)
+    ->Arg(12289)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_MassDistanceProfile(benchmark::State& state) {
   Rng rng(3);

@@ -47,7 +47,10 @@ void BM_GrowIncremental(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_GrowIncremental)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GrowIncremental)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_SlideScratch(benchmark::State& state) {
   const int64_t m = state.range(0);
@@ -73,7 +76,10 @@ void BM_SlideIncremental(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_SlideIncremental)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SlideIncremental)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -32,7 +32,11 @@ void BM_BruteAllPoints(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_BruteAllPoints)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BruteAllPoints)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_KdTreeBuildAndQueryAll(benchmark::State& state) {
   const auto pts = MakePoints(state.range(0));

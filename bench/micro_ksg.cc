@@ -33,7 +33,11 @@ void BM_KsgBrute(benchmark::State& state) {
     benchmark::DoNotOptimize(KsgMi(xs, ys, o));
   }
 }
-BENCHMARK(BM_KsgBrute)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KsgBrute)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_KsgKdTree(benchmark::State& state) {
   std::vector<double> xs, ys;
@@ -44,7 +48,12 @@ void BM_KsgKdTree(benchmark::State& state) {
     benchmark::DoNotOptimize(KsgMi(xs, ys, o));
   }
 }
-BENCHMARK(BM_KsgKdTree)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KsgKdTree)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_HistogramMi(benchmark::State& state) {
   std::vector<double> xs, ys;

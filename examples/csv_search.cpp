@@ -1,8 +1,8 @@
 // Command-line search over your own data: read two columns from a CSV,
 // run TYCOS, write the discovered windows to another CSV.
 //
-//   $ ./build/examples/csv_search input.csv colX colY out.csv \
-//         [sigma] [s_min] [s_max] [td_max]
+//   $ ./build/examples/csv_search input.csv colX colY out.csv
+//         [sigma] [s_min] [s_max] [td_max]   (optional trailing args)
 //
 // With no arguments it demonstrates itself end-to-end: generates a dataset,
 // writes it to a temporary CSV, and searches that file.

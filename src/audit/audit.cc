@@ -1,0 +1,108 @@
+#include "audit/audit.h"
+
+#include <sstream>
+
+namespace tycos {
+namespace audit {
+
+void Auditor::Check(bool ok, const std::function<std::string()>& context) {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (ok) return;
+  const int64_t prior = failures_.fetch_add(1, std::memory_order_relaxed);
+  if (prior == 0) {
+    std::string ctx = context ? context() : std::string();
+    std::lock_guard<std::mutex> lock(mu_);
+    // A racing first failure may have landed between the fetch_add and the
+    // lock; keep whichever arrived first.
+    if (first_failure_.empty()) {
+      first_failure_ = ctx.empty() ? "(no context)" : std::move(ctx);
+    }
+  }
+}
+
+bool Auditor::ShouldSample(int64_t period) {
+  if (period <= 1) return true;
+  const int64_t tick = sample_clock_.fetch_add(1, std::memory_order_relaxed);
+  return tick % period == 0;
+}
+
+std::string Auditor::first_failure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_failure_;
+}
+
+void Auditor::Reset() {
+  checks_.store(0, std::memory_order_relaxed);
+  failures_.store(0, std::memory_order_relaxed);
+  sample_clock_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  first_failure_.clear();
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  out << "audit: " << checks << " checks, " << failures << " failures"
+      << (ok() ? " (ok)" : " (VIOLATIONS)") << "\n";
+  for (const AuditorStats& a : auditors) {
+    out << "  " << a.name << ": " << a.checks << " checks, " << a.failures
+        << " failures\n";
+    if (a.failures > 0 && !a.first_failure.empty()) {
+      out << "    first failure: " << a.first_failure << "\n";
+    }
+  }
+  return out.str();
+}
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();  // leaked: process lifetime
+  return *instance;
+}
+
+Auditor* Registry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Auditor>& a : auditors_) {
+    if (a->name() == name) return a.get();
+  }
+  auditors_.push_back(std::make_unique<Auditor>(name));
+  return auditors_.back().get();
+}
+
+int64_t Registry::TotalChecks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const std::unique_ptr<Auditor>& a : auditors_) total += a->checks();
+  return total;
+}
+
+int64_t Registry::TotalFailures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const std::unique_ptr<Auditor>& a : auditors_) total += a->failures();
+  return total;
+}
+
+AuditReport Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AuditReport report;
+  for (const std::unique_ptr<Auditor>& a : auditors_) {
+    const int64_t checks = a->checks();
+    if (checks == 0) continue;
+    AuditorStats st;
+    st.name = a->name();
+    st.checks = checks;
+    st.failures = a->failures();
+    st.first_failure = a->first_failure();
+    report.checks += st.checks;
+    report.failures += st.failures;
+    report.auditors.push_back(std::move(st));
+  }
+  return report;
+}
+
+void Registry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Auditor>& a : auditors_) a->Reset();
+}
+
+}  // namespace audit
+}  // namespace tycos

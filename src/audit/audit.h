@@ -1,0 +1,156 @@
+// Runtime invariant audit layer.
+//
+// A process-wide registry of named auditors — cheap counters that verify
+// cross-implementation invariants the type system cannot express: the
+// incremental KSG estimator must agree with the batch estimator, the three
+// kNN backends must return identical extents, a WindowSet must stay
+// non-nested, ParallelFor must execute exactly the prefix [0, claimed), and
+// multi-restart RNG streams must be distinct and reproducible.
+//
+// Auditors are compiled out of release builds: configure with
+// `-DTYCOS_AUDIT=ON` (the `audit` CMake preset) to define
+// TYCOS_AUDIT_ENABLED=1, which turns the TYCOS_AUDIT_* macros into real
+// checks. With the option off the macros expand to nothing, so hot paths
+// carry zero cost — the expensive differential recomputes at the call sites
+// must therefore sit inside `#if TYCOS_AUDIT_ENABLED` blocks, not behind a
+// runtime flag.
+//
+// A violation never aborts: it bumps the auditor's failure counter and
+// captures the first failure's human-readable context. Results are read as
+// a structured AuditReport (audit::Snapshot()), surfaced through
+// TycosStats::audit_checks / audit_failures after each search run, and
+// asserted on by the `audit_selftest` binary.
+
+#ifndef TYCOS_AUDIT_AUDIT_H_
+#define TYCOS_AUDIT_AUDIT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef TYCOS_AUDIT_ENABLED
+#define TYCOS_AUDIT_ENABLED 0
+#endif
+
+namespace tycos {
+namespace audit {
+
+// Counters of one named invariant, as captured by Snapshot().
+struct AuditorStats {
+  std::string name;
+  int64_t checks = 0;
+  int64_t failures = 0;
+  // Context string of the first observed violation ("" while clean).
+  std::string first_failure;
+};
+
+// Structured result of an audit window: aggregate counters plus the
+// per-auditor breakdown (only auditors that ran at least one check).
+struct AuditReport {
+  int64_t checks = 0;
+  int64_t failures = 0;
+  std::vector<AuditorStats> auditors;
+
+  bool ok() const { return failures == 0; }
+  // Multi-line human-readable rendering (one line per auditor, first
+  // failure context indented below failing ones).
+  std::string ToString() const;
+};
+
+// One named invariant. Thread-safe: Check() may race from concurrent
+// climbs; counters are atomic and the first-failure capture is locked.
+class Auditor {
+ public:
+  explicit Auditor(std::string name) : name_(std::move(name)) {}
+
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  // Records one check. On the first failure, `context` is invoked once to
+  // capture a diagnostic string; later failures only bump the counter, so
+  // a hot loop that goes bad cannot allocate unboundedly.
+  void Check(bool ok, const std::function<std::string()>& context);
+
+  // Deterministic sampling for expensive differential audits: true on the
+  // 1st, (period+1)th, ... call. Counter-based (never wall clock or RNG),
+  // so a given workload samples the same operations on every run.
+  bool ShouldSample(int64_t period);
+
+  const std::string& name() const { return name_; }
+  int64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+  int64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  std::string first_failure() const;
+
+ private:
+  friend class Registry;
+  void Reset();
+
+  const std::string name_;
+  std::atomic<int64_t> checks_{0};
+  std::atomic<int64_t> failures_{0};
+  std::atomic<int64_t> sample_clock_{0};
+  mutable std::mutex mu_;  // guards first_failure_
+  std::string first_failure_;
+};
+
+// Process-wide auditor registry. Auditor handles are stable for the process
+// lifetime; look one up once per call site (function-local static) and
+// reuse it.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  // Returns the auditor named `name`, creating it on first use.
+  Auditor* Get(const std::string& name);
+
+  // Aggregate counters across all auditors (cheap; no per-auditor copy).
+  int64_t TotalChecks() const;
+  int64_t TotalFailures() const;
+
+  // Structured snapshot of every auditor that ran at least one check.
+  AuditReport Snapshot() const;
+
+  // Zeroes every auditor (test isolation between selftest scenarios).
+  void ResetAllForTest();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  // Node-based container: Get() hands out raw pointers that must survive
+  // later insertions.
+  std::vector<std::unique_ptr<Auditor>> auditors_;
+};
+
+// Convenience wrappers for call sites.
+inline Auditor* Get(const std::string& name) {
+  return Registry::Instance().Get(name);
+}
+inline AuditReport Snapshot() { return Registry::Instance().Snapshot(); }
+
+}  // namespace audit
+}  // namespace tycos
+
+// TYCOS_AUDIT_CHECK(auditor, cond, context_expr): record one check on
+// `auditor`; `context_expr` (a std::string expression) is evaluated only on
+// the auditor's first failure. Compiled out entirely when TYCOS_AUDIT is
+// off. `auditor` is an audit::Auditor*.
+#if TYCOS_AUDIT_ENABLED
+#define TYCOS_AUDIT_CHECK(auditor, cond, context_expr) \
+  (auditor)->Check((cond), [&]() -> std::string { return (context_expr); })
+// Marks a statement that exists only to feed auditors (state capture,
+// expensive recomputes). Prefer `#if TYCOS_AUDIT_ENABLED` blocks for
+// multi-statement setup.
+#define TYCOS_AUDIT_ONLY(statement) statement
+#else
+#define TYCOS_AUDIT_CHECK(auditor, cond, context_expr) ((void)0)
+#define TYCOS_AUDIT_ONLY(statement) ((void)0)
+#endif
+
+#endif  // TYCOS_AUDIT_AUDIT_H_

@@ -35,7 +35,8 @@ std::vector<MassMatch> MassScan(const SeriesPair& pair,
   const int64_t n = pair.size();
   const int64_t m = options.window;
   TYCOS_CHECK_GE(m, 2);
-  const double accept = options.threshold * std::sqrt(2.0 * static_cast<double>(m));
+  const double accept =
+      options.threshold * std::sqrt(2.0 * static_cast<double>(m));
   std::vector<MassMatch> out;
   for (int64_t q = 0; q + m <= n; q += options.stride) {
     MassMatch match = MassBestMatch(pair.x().values(), pair.y().values(), q, m);

@@ -16,7 +16,8 @@ double ZDist(double dot, double mu_a, double sd_a, double mu_b, double sd_b,
              double m) {
   if (sd_a == 0.0 || sd_b == 0.0) return std::sqrt(2.0 * m);
   const double corr = (dot - m * mu_a * mu_b) / (m * sd_a * sd_b);
-  return std::sqrt(std::max(0.0, 2.0 * m * (1.0 - std::clamp(corr, -1.0, 1.0))));
+  return std::sqrt(
+      std::max(0.0, 2.0 * m * (1.0 - std::clamp(corr, -1.0, 1.0))));
 }
 
 // STOMP core: rows are subsequences of `a`, columns subsequences of `b`.

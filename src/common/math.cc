@@ -38,7 +38,9 @@ double DigammaTable::operator()(size_t n) {
   return table_[n - 1];
 }
 
-double LogFactorial(unsigned n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+double LogFactorial(unsigned n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
 
 double Mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;

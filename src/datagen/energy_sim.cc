@@ -95,7 +95,8 @@ EnergySimulator::EnergySimulator(const EnergySimOptions& options)
   };
   auto at = [&](int day, double hour) {
     return static_cast<int64_t>(day) * per_day +
-           static_cast<int64_t>(std::llround(hour * static_cast<double>(per_hour)));
+           static_cast<int64_t>(
+               std::llround(hour * static_cast<double>(per_hour)));
   };
   auto& kitchen = ch[static_cast<int>(EnergyChannel::kKitchen)];
   auto& dish = ch[static_cast<int>(EnergyChannel::kDishWasher)];
@@ -116,8 +117,9 @@ EnergySimulator::EnergySimulator(const EnergySimOptions& options)
       const int64_t dish_lag = minutes(rng.Uniform(0.0, 240.0));
       AddLaggedEvent(&kitchen, &dish, start, dur, dish_lag, 1.2, 0.8, rng);
       const int64_t micro_lag = minutes(rng.Uniform(0.0, 60.0));
-      AddLaggedEvent(&kitchen, &micro, start, std::min<int64_t>(dur, minutes(30)),
-                     micro_lag, 0.9, 0.7, rng);
+      AddLaggedEvent(&kitchen, &micro, start,
+                     std::min<int64_t>(dur, minutes(30)), micro_lag, 0.9, 0.7,
+                     rng);
     }
     // C3: laundry roughly every other day; dryer follows 10–30 min after.
     if (rng.Bernoulli(0.5)) {

@@ -6,7 +6,8 @@
 
 namespace tycos {
 
-RankIndex::RankIndex(std::vector<double> universe) : unique_(std::move(universe)) {
+RankIndex::RankIndex(std::vector<double> universe)
+    : unique_(std::move(universe)) {
   std::sort(unique_.begin(), unique_.end());
   unique_.erase(std::unique(unique_.begin(), unique_.end()), unique_.end());
   fenwick_.assign(unique_.size() + 1, 0);

@@ -32,9 +32,9 @@ double KozachenkoLeonenkoEntropy(const std::vector<double>& xs,
   KdTree tree(use_tree ? points : std::vector<Point2>{});
   double log_sum = 0.0;
   for (int64_t i = 0; i < m; ++i) {
-    const KnnExtents e = use_tree
-                             ? tree.QueryExtents(static_cast<size_t>(i), k)
-                             : BruteKnnExtents(points, static_cast<size_t>(i), k);
+    const KnnExtents e =
+        use_tree ? tree.QueryExtents(static_cast<size_t>(i), k)
+                 : BruteKnnExtents(points, static_cast<size_t>(i), k);
     const double eps = std::max(e.radius(), eps_floor);
     log_sum += std::log(eps);
   }

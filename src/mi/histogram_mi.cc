@@ -47,8 +47,10 @@ double HistogramMi(const std::vector<double>& xs,
       const int64_t c = joint[static_cast<size_t>(bx * b + by)];
       if (c == 0) continue;
       const double pxy = static_cast<double>(c) * inv_m;
-      const double px = static_cast<double>(mx[static_cast<size_t>(bx)]) * inv_m;
-      const double py = static_cast<double>(my[static_cast<size_t>(by)]) * inv_m;
+      const double px =
+          static_cast<double>(mx[static_cast<size_t>(bx)]) * inv_m;
+      const double py =
+          static_cast<double>(my[static_cast<size_t>(by)]) * inv_m;
       mi += pxy * std::log(pxy / (px * py));
     }
   }

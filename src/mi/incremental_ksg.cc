@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/audit.h"
 #include "knn/brute_knn.h"
 #include "knn/kd_tree.h"
+#if TYCOS_AUDIT_ENABLED
+#include "mi/ksg.h"
+#endif
 
 namespace tycos {
 
@@ -160,12 +164,32 @@ void IncrementalKsg::Rebuild(const Window& w) {
 
   const bool use_tree = m > 256;
   KdTree tree(use_tree ? pts : std::vector<Point2>{});
+#if TYCOS_AUDIT_ENABLED
+  // Backend-agreement audit: the k-d tree fast path must return extents
+  // bit-identical to the brute reference (same deterministic tie-break).
+  // Sampled per rebuild, strided within it, to bound the O(m) brute scans.
+  static audit::Auditor* knn_audit = audit::Get("knn_backend_agreement");
+  const bool audit_rebuild = use_tree && knn_audit->ShouldSample(16);
+  const int64_t audit_stride = std::max<int64_t>(1, m / 8);
+#endif
   for (int64_t i = 0; i < m; ++i) {
     PointState st;
     st.p = pts[static_cast<size_t>(i)];
     const KnnExtents e =
         use_tree ? tree.QueryExtents(static_cast<size_t>(i), k_)
                  : BruteKnnExtents(pts, static_cast<size_t>(i), k_);
+#if TYCOS_AUDIT_ENABLED
+    if (audit_rebuild && i % audit_stride == 0) {
+      const KnnExtents b = BruteKnnExtents(pts, static_cast<size_t>(i), k_);
+      TYCOS_AUDIT_CHECK(knn_audit, e.dx == b.dx && e.dy == b.dy,
+                        "kd-tree extents diverge from brute at point " +
+                            std::to_string(i) + " of m=" + std::to_string(m) +
+                            ": kd=(" + std::to_string(e.dx) + "," +
+                            std::to_string(e.dy) + ") brute=(" +
+                            std::to_string(b.dx) + "," + std::to_string(b.dy) +
+                            ")");
+    }
+#endif
     st.dx = e.dx;
     st.dy = e.dy;
     st.nx = CountMarginalX(st.p.x, st.dx);
@@ -333,6 +357,32 @@ double IncrementalKsg::SetWindow(const Window& w) {
   while (start_ > w.start) AddPoint(start_ - 1);
   while (end_ < w.end) AddPoint(end_ + 1);
   ++stats_.incremental_moves;
+
+#if TYCOS_AUDIT_ENABLED
+  {
+    // Differential audit (the paper's core equivalence, Eq. 2 / Sec. 7):
+    // after an incremental move, the maintained state must reproduce the
+    // batch estimator's MI for the same window. Sampled because the batch
+    // recompute is O(m log m) — exactly the cost the incremental path
+    // exists to avoid.
+    static audit::Auditor* diff_audit = audit::Get("incremental_vs_batch");
+    if (diff_audit->ShouldSample(32)) {
+      std::vector<double> xs, ys;
+      ExtractSamples(pair_, w, &xs, &ys);
+      KsgOptions opts;
+      opts.k = k_;
+      opts.backend = KnnBackend::kBrute;
+      const double batch = KsgMi(xs, ys, opts);
+      const double inc = CurrentMi();
+      TYCOS_AUDIT_CHECK(
+          diff_audit, std::fabs(inc - batch) <= 1e-7,
+          "incremental MI diverged from batch on " + w.ToString() +
+              ": incremental=" + std::to_string(inc) +
+              " batch=" + std::to_string(batch) +
+              " diff=" + std::to_string(inc - batch));
+    }
+  }
+#endif
   return CurrentMi();
 }
 

@@ -39,7 +39,7 @@ struct IncrementalKsgStats {
   int64_t incremental_moves = 0;   // windows updated via add/remove deltas
   int64_t points_added = 0;
   int64_t points_removed = 0;
-  int64_t knn_recomputes = 0;      // per-point kNN searches triggered by IR hits
+  int64_t knn_recomputes = 0;      // per-point kNN searches from IR hits
   int64_t marginal_updates = 0;    // O(1) IMR count adjustments
   int64_t degenerate_windows = 0;  // constant/non-finite windows scored as 0
 };
@@ -67,6 +67,12 @@ class IncrementalKsg {
 
   const IncrementalKsgStats& stats() const { return stats_; }
   int k() const { return k_; }
+
+  // Test-only fault hook for the audit selftest: perturbs the running ψ-sum
+  // the way a real bookkeeping bug would (a missed IMR update, a stale
+  // extent), so the incremental-vs-batch differential auditor has a
+  // deliberately broken estimator to catch. Never call outside tests.
+  void InjectStateDriftForTest(double delta) { sum_psi_ += delta; }
 
  private:
   struct PointState {

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "audit/audit.h"
 #include "common/math.h"
 #include "knn/brute_knn.h"
 #include "knn/grid_index.h"
@@ -197,6 +198,34 @@ double KsgMi(const std::vector<double>& xs, const std::vector<double>& ys,
   if (backend == KnnBackend::kAuto) {
     backend = m <= 256 ? KnnBackend::kBrute : KnnBackend::kKdTree;
   }
+
+#if TYCOS_AUDIT_ENABLED
+  {
+    // 3-way backend agreement audit: brute, k-d tree, and grid must return
+    // bit-identical extents for the same query (all three share the
+    // (distance, index) tie-break). Sampled per estimator call and strided
+    // across queries; only then are the two extra indexes built.
+    static audit::Auditor* knn_audit = audit::Get("knn_backend_agreement");
+    if (knn_audit->ShouldSample(32)) {
+      KdTree audit_tree(points);
+      GridIndex audit_grid(points);
+      const int64_t stride = std::max<int64_t>(1, m / 8);
+      for (int64_t i = 0; i < m; i += stride) {
+        const KnnExtents b = BruteKnnExtents(points, static_cast<size_t>(i), k);
+        const KnnExtents t = audit_tree.QueryExtents(static_cast<size_t>(i), k);
+        const KnnExtents g = audit_grid.QueryExtents(static_cast<size_t>(i), k);
+        TYCOS_AUDIT_CHECK(
+            knn_audit,
+            b.dx == t.dx && b.dy == t.dy && b.dx == g.dx && b.dy == g.dy,
+            "kNN backends disagree at query " + std::to_string(i) + " of m=" +
+                std::to_string(m) + ": brute=(" + std::to_string(b.dx) + "," +
+                std::to_string(b.dy) + ") kd=(" + std::to_string(t.dx) + "," +
+                std::to_string(t.dy) + ") grid=(" + std::to_string(g.dx) +
+                "," + std::to_string(g.dy) + ")");
+      }
+    }
+  }
+#endif
 
   DigammaTable psi;
   double marginal_sum = 0.0;

@@ -95,17 +95,17 @@ enum class MiNormalization {
 inline constexpr double kDefaultSmallSamplePenalty = 2.0;
 
 // Normalized MI in [0, 1] for paired samples.
-double NormalizedMi(const std::vector<double>& xs,
-                    const std::vector<double>& ys,
-                    const KsgOptions& options = {},
-                    MiNormalization mode = MiNormalization::kCorrelationCoefficient,
-                    double small_sample_penalty = kDefaultSmallSamplePenalty);
+double NormalizedMi(
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    const KsgOptions& options = {},
+    MiNormalization mode = MiNormalization::kCorrelationCoefficient,
+    double small_sample_penalty = kDefaultSmallSamplePenalty);
 
 // Normalized MI of a window.
-double NormalizedMi(const SeriesPair& pair, const Window& w,
-                    const KsgOptions& options = {},
-                    MiNormalization mode = MiNormalization::kCorrelationCoefficient,
-                    double small_sample_penalty = kDefaultSmallSamplePenalty);
+double NormalizedMi(
+    const SeriesPair& pair, const Window& w, const KsgOptions& options = {},
+    MiNormalization mode = MiNormalization::kCorrelationCoefficient,
+    double small_sample_penalty = kDefaultSmallSamplePenalty);
 
 namespace internal {
 

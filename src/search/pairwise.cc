@@ -108,8 +108,8 @@ Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
   TycosParams inner = params;
   inner.num_threads = 1;
 
-  const int threads = std::min<int64_t>(
-      ThreadPool::ResolveThreadCount(params.num_threads), total_pairs);
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ThreadPool::ResolveThreadCount(params.num_threads), total_pairs));
   ThreadPool pool(threads - 1);
   const ThreadPool::ForStatus fs = pool.ParallelFor(
       total_pairs, ctx, [&](int64_t p) -> std::optional<StopReason> {

@@ -41,8 +41,8 @@ StreamingTycos::StreamingTycos(const TycosParams& params, TycosVariant variant,
                                DataPolicy policy)
     : StreamingTycos(
           [&] {
-            const Status st =
-                ValidateConfig(params, EffectiveTrigger(params, search_trigger));
+            const Status st = ValidateConfig(
+                params, EffectiveTrigger(params, search_trigger));
             if (!st.ok()) {
               std::fprintf(stderr, "StreamingTycos: invalid config: %s\n",
                            st.ToString().c_str());

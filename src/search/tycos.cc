@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/audit.h"
 #include "common/thread_pool.h"
 #include "search/top_k.h"
 
@@ -214,8 +215,27 @@ WindowSet Tycos::Run() {
 }
 
 Result<SearchOutcome> Tycos::Run(const RunContext& ctx) {
-  if (params_.num_restarts > 0) return RunMultiRestart(ctx);
+#if TYCOS_AUDIT_ENABLED
+  // Surface the audit activity of this run through stats(): record the
+  // process-wide registry delta across the dispatch. Concurrent runs in
+  // other threads can inflate the window — acceptable for a debug-build
+  // diagnostic whose zero/non-zero failure signal is what matters.
+  const int64_t checks_before = audit::Registry::Instance().TotalChecks();
+  const int64_t failures_before = audit::Registry::Instance().TotalFailures();
+#endif
+  Result<SearchOutcome> out = params_.num_restarts > 0
+                                  ? RunMultiRestart(ctx)
+                                  : RunSequential(ctx);
+#if TYCOS_AUDIT_ENABLED
+  stats_.audit_checks +=
+      audit::Registry::Instance().TotalChecks() - checks_before;
+  stats_.audit_failures +=
+      audit::Registry::Instance().TotalFailures() - failures_before;
+#endif
+  return out;
+}
 
+Result<SearchOutcome> Tycos::RunSequential(const RunContext& ctx) {
   SearchOutcome outcome;
   WindowSet& results = outcome.windows;
   TopKFilter top_k(params_.top_k > 0 ? params_.top_k : 1);
@@ -290,8 +310,37 @@ Result<SearchOutcome> Tycos::RunMultiRestart(const RunContext& ctx) {
   };
   std::vector<ClimbResult> climbs(static_cast<size_t>(restarts));
 
-  const int threads = std::min<int64_t>(
-      ThreadPool::ResolveThreadCount(params_.num_threads), restarts);
+#if TYCOS_AUDIT_ENABLED
+  {
+    // RNG stream-derivation audit: multi-restart determinism rests on every
+    // climb owning a seed stream that (a) is reproducible from (seed, index)
+    // alone and (b) never collides with a sibling climb's stream. A
+    // collision would make two climbs sample identical LAHC histories; a
+    // non-reproducible derivation would break bit-identity across runs.
+    static audit::Auditor* rng_audit = audit::Get("rng_stream_derivation");
+    std::vector<uint64_t> seeds(static_cast<size_t>(restarts));
+    for (int r = 0; r < restarts; ++r) {
+      const auto stream = static_cast<uint64_t>(r);
+      seeds[static_cast<size_t>(r)] = DeriveStreamSeed(seed_, stream);
+      TYCOS_AUDIT_CHECK(
+          rng_audit,
+          seeds[static_cast<size_t>(r)] == DeriveStreamSeed(seed_, stream),
+          "DeriveStreamSeed not reproducible for stream " + std::to_string(r));
+    }
+    std::vector<uint64_t> sorted_seeds = seeds;
+    std::sort(sorted_seeds.begin(), sorted_seeds.end());
+    const bool distinct = std::adjacent_find(sorted_seeds.begin(),
+                                             sorted_seeds.end()) ==
+                          sorted_seeds.end();
+    TYCOS_AUDIT_CHECK(rng_audit, distinct,
+                      "seed stream collision across " +
+                          std::to_string(restarts) + " restarts of seed " +
+                          std::to_string(seed_));
+  }
+#endif
+
+  const int threads = static_cast<int>(std::min<int64_t>(
+      ThreadPool::ResolveThreadCount(params_.num_threads), restarts));
   ThreadPool pool(threads - 1);
   const ThreadPool::ForStatus fs = pool.ParallelFor(
       restarts, ctx, [&](int64_t r) -> std::optional<StopReason> {

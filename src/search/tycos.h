@@ -41,6 +41,14 @@ struct TycosStats {
   int64_t windows_found = 0;
   int64_t non_finite_scores = 0;   // evaluator outputs sanitized to 0
   int64_t degenerate_windows = 0;  // constant/hostile windows scored 0
+  // Invariant-audit counters covering this run (builds with TYCOS_AUDIT=ON
+  // only; both stay 0 otherwise). The counts are the process-wide registry
+  // delta observed across Run(ctx) — estimator differentials, kNN backend
+  // agreement, WindowSet and thread-pool invariants, RNG stream derivation.
+  // audit_failures > 0 means a correctness invariant was violated; see
+  // audit::Snapshot() for the per-auditor breakdown.
+  int64_t audit_checks = 0;
+  int64_t audit_failures = 0;
   StopReason stop_reason = StopReason::kCompleted;  // why the last Run ended
 };
 
@@ -128,6 +136,9 @@ class Tycos {
     CachingEvaluator* cache = nullptr;
   };
   EvaluatorStack BuildEvaluator() const;
+
+  // The sequential restart-scan engine behind Run(ctx).
+  Result<SearchOutcome> RunSequential(const RunContext& ctx);
 
   // The multi-restart engine behind Run(ctx) when params.num_restarts > 0.
   Result<SearchOutcome> RunMultiRestart(const RunContext& ctx);

@@ -1,0 +1,145 @@
+#include "audit/audit.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tycos {
+namespace audit {
+namespace {
+
+TEST(AuditorTest, CountsChecksAndFailures) {
+  Auditor a("counts");
+  a.Check(true, nullptr);
+  a.Check(true, nullptr);
+  a.Check(false, [] { return std::string("boom"); });
+  a.Check(false, [] { return std::string("later"); });
+  EXPECT_EQ(a.checks(), 4);
+  EXPECT_EQ(a.failures(), 2);
+  EXPECT_EQ(a.first_failure(), "boom");  // first capture wins
+}
+
+TEST(AuditorTest, ContextIsLazyOnSuccess) {
+  Auditor a("lazy");
+  bool invoked = false;
+  a.Check(true, [&] {
+    invoked = true;
+    return std::string("never");
+  });
+  EXPECT_FALSE(invoked);
+  EXPECT_TRUE(a.first_failure().empty());
+}
+
+TEST(AuditorTest, MissingContextGetsPlaceholder) {
+  Auditor a("noctx");
+  a.Check(false, nullptr);
+  EXPECT_EQ(a.first_failure(), "(no context)");
+}
+
+TEST(AuditorTest, ShouldSampleIsDeterministicAndPeriodic) {
+  Auditor a("sampler");
+  std::vector<bool> pattern;
+  for (int i = 0; i < 10; ++i) pattern.push_back(a.ShouldSample(4));
+  const std::vector<bool> expected = {true,  false, false, false, true,
+                                      false, false, false, true,  false};
+  EXPECT_EQ(pattern, expected);
+  // Period <= 1 always samples and does not advance the clock.
+  Auditor b("always");
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.ShouldSample(1));
+}
+
+TEST(AuditorTest, ConcurrentChecksLoseNoCounts) {
+  Auditor a("racing");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&a] {
+      for (int i = 0; i < kPerThread; ++i) {
+        a.Check(i % 2 == 0, [] { return std::string("odd"); });
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(a.checks(), kThreads * kPerThread);
+  EXPECT_EQ(a.failures(), kThreads * kPerThread / 2);
+  EXPECT_EQ(a.first_failure(), "odd");
+}
+
+TEST(RegistryTest, GetReturnsStableHandles) {
+  Auditor* a = Registry::Instance().Get("registry_stable");
+  Auditor* b = Registry::Instance().Get("registry_stable");
+  Auditor* c = Registry::Instance().Get("registry_other");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a->name(), "registry_stable");
+}
+
+TEST(RegistryTest, SnapshotAggregatesActiveAuditors) {
+  Registry::Instance().ResetAllForTest();
+  Auditor* a = Registry::Instance().Get("snap_a");
+  Auditor* b = Registry::Instance().Get("snap_b");
+  Registry::Instance().Get("snap_idle");  // never checks; excluded
+  a->Check(true, nullptr);
+  a->Check(false, [] { return std::string("ctx-a"); });
+  b->Check(true, nullptr);
+
+  const AuditReport report = Snapshot();
+  EXPECT_EQ(report.checks, 3);
+  EXPECT_EQ(report.failures, 1);
+  EXPECT_FALSE(report.ok());
+  bool saw_a = false, saw_idle = false;
+  for (const AuditorStats& st : report.auditors) {
+    if (st.name == "snap_a") {
+      saw_a = true;
+      EXPECT_EQ(st.checks, 2);
+      EXPECT_EQ(st.failures, 1);
+      EXPECT_EQ(st.first_failure, "ctx-a");
+    }
+    if (st.name == "snap_idle") saw_idle = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_FALSE(saw_idle);
+
+  const std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find("snap_a"), std::string::npos);
+  EXPECT_NE(rendered.find("ctx-a"), std::string::npos);
+  EXPECT_NE(rendered.find("VIOLATIONS"), std::string::npos);
+
+  Registry::Instance().ResetAllForTest();
+  EXPECT_EQ(Registry::Instance().Get("snap_a")->checks(), 0);
+  EXPECT_TRUE(Registry::Instance().Get("snap_a")->first_failure().empty());
+}
+
+TEST(RegistryTest, TotalsMatchSnapshot) {
+  Registry::Instance().ResetAllForTest();
+  Auditor* a = Registry::Instance().Get("totals");
+  for (int i = 0; i < 7; ++i) a->Check(i != 3, nullptr);
+  EXPECT_EQ(Registry::Instance().TotalChecks(), Snapshot().checks);
+  EXPECT_EQ(Registry::Instance().TotalFailures(), Snapshot().failures);
+  Registry::Instance().ResetAllForTest();
+}
+
+TEST(AuditMacroTest, MatchesBuildConfiguration) {
+  Registry::Instance().ResetAllForTest();
+  Auditor* a = Registry::Instance().Get("macro_gate");
+  bool context_built = false;
+  TYCOS_AUDIT_CHECK(a, false, (context_built = true, std::string("macro")));
+#if TYCOS_AUDIT_ENABLED
+  EXPECT_EQ(a->checks(), 1);
+  EXPECT_EQ(a->failures(), 1);
+  EXPECT_TRUE(context_built);
+#else
+  // Compiled out: no counters move, the context expression never runs.
+  EXPECT_EQ(a->checks(), 0);
+  EXPECT_EQ(a->failures(), 0);
+  EXPECT_FALSE(context_built);
+#endif
+  Registry::Instance().ResetAllForTest();
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace tycos

@@ -240,6 +240,37 @@ TEST(RankIndexTest, RangeOutsideUniverse) {
   EXPECT_EQ(idx.CountInRange(-9.0, 4.0), 0);
 }
 
+TEST(RankIndexTest, EmptyRangeCounts) {
+  // The cases the marginal-count auditors lean on: a degenerate query
+  // interval must count 0 whether the index is empty, the interval is
+  // inverted, or it falls between stored values.
+  RankIndex idx({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(idx.CountInRange(1.0, 4.0), 0);  // index is empty
+  idx.Insert(1.0);
+  idx.Insert(4.0);
+  EXPECT_EQ(idx.CountInRange(2.0, 3.0), 0);   // gap between stored values
+  EXPECT_EQ(idx.CountInRange(4.0, 1.0), 0);   // inverted interval
+  EXPECT_EQ(idx.CountInRange(1.5, 1.5), 0);   // point query, no occupant
+  EXPECT_EQ(idx.CountInRange(4.0, 4.0), 1);   // point query, occupied
+}
+
+TEST(RankIndexTest, FullRangeCountsEqualSize) {
+  // A closed interval covering the whole universe must count exactly
+  // size(), with duplicates multiplicity-counted — the incremental KSG's
+  // "count minus self" arithmetic depends on this.
+  RankIndex idx({-2.0, 0.0, 3.5});
+  idx.Insert(-2.0);
+  idx.Insert(0.0);
+  idx.Insert(0.0);
+  idx.Insert(3.5);
+  EXPECT_EQ(idx.size(), 4);
+  EXPECT_EQ(idx.CountInRange(-2.0, 3.5), 4);      // exact hull
+  EXPECT_EQ(idx.CountInRange(-1e300, 1e300), 4);  // unbounded hull
+  idx.Erase(0.0);
+  EXPECT_EQ(idx.CountInRange(-2.0, 3.5), 3);      // multiplicity respected
+  EXPECT_EQ(idx.CountInRange(-2.0, 3.5), idx.size());
+}
+
 TEST(RankIndexTest, MatchesNaiveCountingUnderRandomOps) {
   Rng rng(17);
   std::vector<double> universe;
@@ -253,8 +284,8 @@ TEST(RankIndexTest, MatchesNaiveCountingUnderRandomOps) {
       idx.Insert(v);
       present.push_back(v);
     } else {
-      const size_t pos =
-          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(present.size()) - 1));
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(present.size()) - 1));
       idx.Erase(present[pos]);
       present.erase(present.begin() + static_cast<long>(pos));
     }

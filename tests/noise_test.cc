@@ -74,7 +74,9 @@ TEST(InitialNoisePruningTest, ReturnsNulloptOnPureNoise) {
   // noise block may clear it — but nothing in pure noise may ever look like
   // a real correlation (score >= σ).
   const auto w0 = InitialNoisePruning(pair, eval, p, 0, /*scan_delays=*/false);
-  if (w0.has_value()) EXPECT_LT(w0->mi, p.sigma);
+  if (w0.has_value()) {
+    EXPECT_LT(w0->mi, p.sigma);
+  }
 }
 
 TEST(InitialNoisePruningTest, DelayScanLocatesDelayedRelation) {

@@ -120,7 +120,9 @@ TEST_P(TycosVariantRunTest, ResultWindowsRespectConstraints) {
   const auto& ws = result.windows();
   for (size_t i = 0; i < ws.size(); ++i) {
     for (size_t j = 0; j < ws.size(); ++j) {
-      if (i != j) EXPECT_FALSE(Contains(ws[i], ws[j]));
+      if (i != j) {
+        EXPECT_FALSE(Contains(ws[i], ws[j]));
+      }
     }
   }
 }

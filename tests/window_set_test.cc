@@ -124,5 +124,78 @@ TEST(MergeOverlappingTest, EmptyInput) {
   EXPECT_TRUE(MergeOverlapping({}).empty());
 }
 
+// --- Invariant edge cases backing the window_set auditors -----------------
+
+TEST(WindowSetTest, DuplicateInsertLeavesSingleCopy) {
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(3, 9, 1, 0.4)));
+  // Re-inserting the identical span is rejected regardless of its MI —
+  // including a strictly better score (SameSpan short-circuits before the
+  // MI comparison) and a bit-identical duplicate.
+  EXPECT_FALSE(set.Insert(Window(3, 9, 1, 0.4)));
+  EXPECT_FALSE(set.Insert(Window(3, 9, 1, 0.99)));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_DOUBLE_EQ(set.windows()[0].mi, 0.4);
+}
+
+TEST(WindowSetTest, ExactNestingAtSharedBoundaries) {
+  // Contains() uses closed comparisons, so an inner window sharing the
+  // outer's start (or end) is still nested — the non-nesting constraint
+  // must fire on boundary-touching spans, not only strict interiors.
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(10, 30, 2, 0.8)));
+  EXPECT_FALSE(set.Insert(Window(10, 20, 2, 0.5)));  // shares start
+  EXPECT_FALSE(set.Insert(Window(25, 30, 2, 0.5)));  // shares end
+  EXPECT_EQ(set.size(), 1u);
+
+  // A boundary-sharing inner window with a higher MI evicts the outer.
+  EXPECT_TRUE(set.Insert(Window(10, 20, 2, 0.9)));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.windows()[0].end, 20);
+}
+
+TEST(WindowSetTest, SameSpanDifferentDelayCoexist) {
+  // Nesting requires equal delays; the same X-interval under two delays is
+  // two distinct relations and both stay in the set.
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(0, 10, 0, 0.5)));
+  EXPECT_TRUE(set.Insert(Window(0, 10, 4, 0.5)));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(WindowSetTest, EvictionCascadeKeepsSetNonNested) {
+  // One wide insert must evict several nested incumbents at once and leave
+  // a set where no pair nests (the auditor's full-sweep invariant).
+  WindowSet set;
+  EXPECT_TRUE(set.Insert(Window(0, 5, 0, 0.3)));
+  EXPECT_TRUE(set.Insert(Window(10, 15, 0, 0.4)));
+  EXPECT_TRUE(set.Insert(Window(20, 25, 0, 0.2)));
+  EXPECT_TRUE(set.Insert(Window(0, 30, 0, 0.9)));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.windows()[0].size(), 31);
+}
+
+TEST(MergeOverlappingTest, ExactlyTouchingWindowsMerge) {
+  // start == end + 1 is the adjacency boundary: touching windows fold into
+  // one covering window; a one-sample gap keeps them apart.
+  const auto touching =
+      MergeOverlapping({Window(0, 9, 3, 0.2), Window(10, 19, 3, 0.6)});
+  ASSERT_EQ(touching.size(), 1u);
+  EXPECT_EQ(touching[0].start, 0);
+  EXPECT_EQ(touching[0].end, 19);
+  EXPECT_DOUBLE_EQ(touching[0].mi, 0.6);
+
+  const auto gapped =
+      MergeOverlapping({Window(0, 9, 3, 0.2), Window(11, 19, 3, 0.6)});
+  EXPECT_EQ(gapped.size(), 2u);
+}
+
+TEST(MergeOverlappingTest, IdenticalWindowsCollapse) {
+  const auto merged =
+      MergeOverlapping({Window(4, 8, 1, 0.3), Window(4, 8, 1, 0.7)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].mi, 0.7);
+}
+
 }  // namespace
 }  // namespace tycos
