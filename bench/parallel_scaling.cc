@@ -14,6 +14,8 @@
 
 #include "bench/bench_util.h"
 #include "datagen/energy_sim.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "search/pairwise.h"
 
 namespace {
@@ -143,5 +145,24 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Metrics sidecar: the obs-registry snapshot accumulated over all four
+  // sweeps (see bench/README.md). Counter totals are thread-count-invariant,
+  // so the sidecar doubles as a coarse determinism record for the run.
+  std::string metrics_path = out_path;
+  const std::string suffix = ".json";
+  if (metrics_path.size() >= suffix.size() &&
+      metrics_path.compare(metrics_path.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+    metrics_path.resize(metrics_path.size() - suffix.size());
+  }
+  metrics_path += ".metrics.json";
+  const Status metrics_ok = obs::WriteJson(metrics_path, obs::Snapshot());
+  if (metrics_ok.ok()) {
+    std::printf("wrote %s\n", metrics_path.c_str());
+  } else {
+    std::fprintf(stderr, "metrics sidecar failed: %s\n",
+                 metrics_ok.message().c_str());
+  }
   return all_identical ? 0 : 1;
 }

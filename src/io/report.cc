@@ -5,11 +5,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace tycos {
 
 namespace {
 
-// "2.5 h", "14 min", "45 s" — the coarsest unit that stays >= 1.
+// "2.5 h", "14 min", "45 s", "250 ms" — the coarsest unit that stays >= 1.
+// Sub-second durations get their own branch (a 4 ms lag used to render as
+// the indistinguishable-from-zero "0 s"); exactly zero stays "0 s".
 std::string HumaneDuration(double seconds) {
   char buf[48];
   const double abs = std::fabs(seconds);
@@ -19,8 +23,12 @@ std::string HumaneDuration(double seconds) {
     std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600.0);
   } else if (abs >= 60.0) {
     std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
-  } else {
+  } else if (abs >= 1.0) {
     std::snprintf(buf, sizeof(buf), "%.0f s", seconds);
+  } else if (abs > 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "0 s");
   }
   return buf;
 }
@@ -97,6 +105,9 @@ std::string RenderReport(const SeriesPair& pair, const TycosParams& params,
   if (stats.audit_checks > 0 || stats.audit_failures > 0) {
     out << "| invariant audits (checks / violations) | " << stats.audit_checks
         << " / " << stats.audit_failures << " |\n";
+  }
+  if (options.include_metrics) {
+    out << "\n## Metrics\n\n```\n" << obs::Snapshot().ToString() << "```\n";
   }
   return out.str();
 }

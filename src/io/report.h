@@ -21,6 +21,11 @@ struct ReportOptions {
   // Sampling interval in seconds; when > 0, window positions and delays are
   // also printed in humane time units.
   double seconds_per_sample = 0.0;
+  // When true, appends a "Metrics" section rendering the obs registry
+  // snapshot — the same data obs::WriteJson exports. Off by default so the
+  // report of a given run stays byte-stable regardless of unrelated
+  // registry activity in the process.
+  bool include_metrics = false;
 };
 
 // Renders a markdown report for a completed run: parameter table, one row

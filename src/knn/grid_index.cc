@@ -6,8 +6,23 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace tycos {
+
+GridIndex::~GridIndex() {
+  if (obs_ring_expansions_ == 0 && obs_ring_counts_[0] == 0) return;
+  static obs::Counter* expansions =
+      obs::GetCounter("knn.grid.ring_expansions");
+  static obs::Histogram* rings = obs::GetHistogram(
+      "knn.grid.rings_per_query", {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  expansions->Add(obs_ring_expansions_);
+  for (size_t r = 0; r < kObsRingBuckets; ++r) {
+    if (obs_ring_counts_[r] > 0) {
+      rings->ObserveCount(static_cast<double>(r), obs_ring_counts_[r]);
+    }
+  }
+}
 
 GridIndex::GridIndex(std::vector<Point2> points) : points_(std::move(points)) {
   if (points_.empty()) {
@@ -82,6 +97,7 @@ KnnExtents GridIndex::Query(const Point2& probe, int k,
   const int64_t pcx = CellX(probe.x);
   const int64_t pcy = CellY(probe.y);
   const int64_t max_ring = std::max(cells_x_, cells_y_);
+  int64_t rings_scanned = 0;
   for (int64_t ring = 0; ring <= max_ring; ++ring) {
     // All cells whose Chebyshev cell-distance from the probe's cell is
     // exactly `ring`; every point in farther rings is at L∞ distance
@@ -94,6 +110,7 @@ KnnExtents GridIndex::Query(const Point2& probe, int k,
           static_cast<double>(ring - 1) * cell_size_;
       if (ring_lower > heap.front().first) break;
     }
+    ++rings_scanned;
     const int64_t x_lo = pcx - ring, x_hi = pcx + ring;
     const int64_t y_lo = pcy - ring, y_hi = pcy + ring;
     for (int64_t cy = std::max<int64_t>(y_lo, 0);
@@ -107,6 +124,12 @@ KnnExtents GridIndex::Query(const Point2& probe, int k,
     }
   }
   TYCOS_CHECK_EQ(heap.size(), static_cast<size_t>(k));
+  // Expansions = rings beyond the probe's own cell. Plain-int tallies here
+  // (flushed by the destructor) keep the query loop registry-free.
+  const int64_t ring_expansions = rings_scanned > 0 ? rings_scanned - 1 : 0;
+  obs_ring_expansions_ += ring_expansions;
+  ++obs_ring_counts_[std::min<size_t>(static_cast<size_t>(ring_expansions),
+                                      kObsRingBuckets - 1)];
   KnnExtents e;
   for (const Cand& c : heap) {
     const Point2& p = points_[static_cast<size_t>(c.second)];

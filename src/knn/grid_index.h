@@ -7,6 +7,7 @@
 #ifndef TYCOS_KNN_GRID_INDEX_H_
 #define TYCOS_KNN_GRID_INDEX_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,15 @@ class GridIndex {
  public:
   // Builds the grid over `points` with ~4 points per cell on average.
   explicit GridIndex(std::vector<Point2> points);
+
+  // Publishes the query tallies (knn.grid.ring_expansions counter,
+  // knn.grid.rings_per_query histogram) in one batch. Tallies are plain
+  // ints because an index is only ever queried from the thread that built
+  // it — callers must not share a GridIndex across threads.
+  ~GridIndex();
+
+  GridIndex(const GridIndex&) = delete;
+  GridIndex& operator=(const GridIndex&) = delete;
 
   size_t size() const { return points_.size(); }
 
@@ -43,6 +53,14 @@ class GridIndex {
   int64_t cells_x_ = 1;
   int64_t cells_y_ = 1;
   std::vector<std::vector<int32_t>> cells_;  // row-major [cy * cells_x_ + cx]
+
+  // Query-shape tallies, flushed to the obs registry by the destructor.
+  // rings >= kObsRingBuckets - 1 land in the last (overflow) slot. Mutable
+  // because Query() is logically const; see the destructor comment for the
+  // single-thread invariant that makes plain ints safe.
+  static constexpr size_t kObsRingBuckets = 10;
+  mutable int64_t obs_ring_expansions_ = 0;
+  mutable std::array<int64_t, kObsRingBuckets> obs_ring_counts_{};
 };
 
 }  // namespace tycos

@@ -6,6 +6,8 @@
 #include "audit/audit.h"
 #include "knn/brute_knn.h"
 #include "knn/kd_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #if TYCOS_AUDIT_ENABLED
 #include "mi/ksg.h"
 #endif
@@ -136,6 +138,7 @@ void IncrementalKsg::RecomputePoint(size_t slot) {
 }
 
 void IncrementalKsg::Rebuild(const Window& w) {
+  TYCOS_SPAN("ksg_rebuild");
   for (const PointState& st : points_) {
     x_index_.Erase(st.p.x);
     y_index_.Erase(st.p.y);
@@ -198,6 +201,11 @@ void IncrementalKsg::Rebuild(const Window& w) {
     points_.push_back(st);
   }
   ++stats_.full_rebuilds;
+  // One registry write per rebuild (not per query): the backend answered m
+  // kNN queries while rebuilding the window state.
+  static obs::Counter* kd_queries = obs::GetCounter("knn.kd_tree.queries");
+  static obs::Counter* brute_queries = obs::GetCounter("knn.brute.queries");
+  (use_tree ? kd_queries : brute_queries)->Add(m);
 }
 
 void IncrementalKsg::AddPoint(int64_t global_index) {
@@ -314,6 +322,7 @@ void IncrementalKsg::RemovePoint(int64_t global_index) {
 }
 
 double IncrementalKsg::SetWindow(const Window& w) {
+  TYCOS_SPAN("ksg_set_window");
   TYCOS_CHECK_GE(w.start, 0);
   TYCOS_CHECK_LT(w.end, pair_.size());
   TYCOS_CHECK_GE(w.y_start(), 0);
@@ -384,6 +393,34 @@ double IncrementalKsg::SetWindow(const Window& w) {
   }
 #endif
   return CurrentMi();
+}
+
+void IncrementalKsg::FlushObsCounters() {
+  static obs::Counter* rebuilds =
+      obs::GetCounter("incremental.full_rebuilds");
+  static obs::Counter* moves =
+      obs::GetCounter("incremental.incremental_moves");
+  static obs::Counter* added = obs::GetCounter("incremental.points_added");
+  static obs::Counter* removed =
+      obs::GetCounter("incremental.points_removed");
+  static obs::Counter* recomputes =
+      obs::GetCounter("incremental.knn_recomputes");
+  static obs::Counter* marginals =
+      obs::GetCounter("incremental.marginal_updates");
+  const auto flush = [](obs::Counter* counter, int64_t now,
+                        int64_t* flushed) {
+    if (now == *flushed) return;
+    counter->Add(now - *flushed);
+    *flushed = now;
+  };
+  flush(rebuilds, stats_.full_rebuilds, &flushed_stats_.full_rebuilds);
+  flush(moves, stats_.incremental_moves, &flushed_stats_.incremental_moves);
+  flush(added, stats_.points_added, &flushed_stats_.points_added);
+  flush(removed, stats_.points_removed, &flushed_stats_.points_removed);
+  flush(recomputes, stats_.knn_recomputes, &flushed_stats_.knn_recomputes);
+  flush(marginals, stats_.marginal_updates, &flushed_stats_.marginal_updates);
+  // stats_.degenerate_windows is deliberately absent: IncrementalEvaluator
+  // folds it into mi.degenerate_windows alongside its stateless path.
 }
 
 double IncrementalKsg::CurrentMi() const {

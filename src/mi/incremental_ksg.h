@@ -68,6 +68,11 @@ class IncrementalKsg {
   const IncrementalKsgStats& stats() const { return stats_; }
   int k() const { return k_; }
 
+  // Publishes the incremental.* stats_ fields to the obs registry as deltas
+  // since the previous flush. Called by IncrementalEvaluator at run / climb
+  // boundaries — never per slide, so the hot path stays atomic-free.
+  void FlushObsCounters();
+
   // Test-only fault hook for the audit selftest: perturbs the running ψ-sum
   // the way a real bookkeeping bug would (a missed IMR update, a stale
   // extent), so the incremental-vs-batch differential auditor has a
@@ -143,6 +148,9 @@ class IncrementalKsg {
   std::vector<Point2> rebuild_scratch_;              // window points
 
   IncrementalKsgStats stats_;
+  // Watermark of the last FlushObsCounters(): only field deltas are
+  // published, so a flush on an idle estimator is free.
+  IncrementalKsgStats flushed_stats_;
 };
 
 }  // namespace tycos

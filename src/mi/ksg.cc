@@ -12,6 +12,8 @@
 #include "knn/grid_index.h"
 #include "knn/kd_tree.h"
 #include "mi/entropy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tycos {
 
@@ -236,20 +238,28 @@ double KsgMi(const std::vector<double>& xs, const std::vector<double>& ys,
         1, CountClosed(sorted_y, y[static_cast<size_t>(i)], e.dy));
     marginal_sum += psi(static_cast<size_t>(nx)) + psi(static_cast<size_t>(ny));
   };
+  // Each backend answers m queries; the counter is bumped once per call
+  // (outside the query loop) so the per-point kernel stays registry-free.
   if (backend == KnnBackend::kKdTree) {
     KdTree tree(points);
     for (int64_t i = 0; i < m; ++i) {
       accumulate(i, tree.QueryExtents(static_cast<size_t>(i), k));
     }
+    static obs::Counter* queries = obs::GetCounter("knn.kd_tree.queries");
+    queries->Add(m);
   } else if (backend == KnnBackend::kGrid) {
     GridIndex grid(points);
     for (int64_t i = 0; i < m; ++i) {
       accumulate(i, grid.QueryExtents(static_cast<size_t>(i), k));
     }
+    static obs::Counter* queries = obs::GetCounter("knn.grid.queries");
+    queries->Add(m);
   } else {
     for (int64_t i = 0; i < m; ++i) {
       accumulate(i, BruteKnnExtents(points, static_cast<size_t>(i), k));
     }
+    static obs::Counter* queries = obs::GetCounter("knn.brute.queries");
+    queries->Add(m);
   }
 
   return psi(static_cast<size_t>(k)) - 1.0 / k -

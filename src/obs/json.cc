@@ -1,0 +1,80 @@
+#include "obs/json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tycos {
+namespace obs {
+
+namespace {
+
+// Metric names are code-controlled identifiers, but escape the JSON
+// specials anyway so a hostile name cannot corrupt the document.
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    "
+        << Quoted(snapshot.counters[i].name) << ": "
+        << snapshot.counters[i].value;
+  }
+  out << (snapshot.counters.empty() ? "},\n" : "\n  },\n");
+  out << "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    "
+        << Quoted(snapshot.gauges[i].name) << ": "
+        << snapshot.gauges[i].value;
+  }
+  out << (snapshot.gauges.empty() ? "},\n" : "\n  },\n");
+  out << "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    " << Quoted(h.name)
+        << ": { \"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << Num(h.bounds[b]);
+    }
+    out << "], \"counts\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.counts[b];
+    }
+    out << "] }";
+  }
+  out << (snapshot.histograms.empty() ? "}\n" : "\n  }\n");
+  out << "}\n";
+  return out.str();
+}
+
+Status WriteJson(const std::string& path, const MetricsSnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToJson(snapshot);
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace tycos

@@ -1,0 +1,36 @@
+// Machine-readable export of a metrics snapshot — the sidecar the bench
+// drivers write next to their BENCH_*.json so a run's counters and
+// distributions can be diffed across commits the same way its timings are.
+// See bench/README.md for the sidecar format and handling policy.
+
+#ifndef TYCOS_OBS_JSON_H_
+#define TYCOS_OBS_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace tycos {
+namespace obs {
+
+// Renders the snapshot as a JSON document:
+//
+//   {
+//     "counters":   { "<name>": <int>, ... },
+//     "gauges":     { "<name>": <int>, ... },
+//     "histograms": { "<name>": { "bounds": [..], "counts": [..] }, ... }
+//   }
+//
+// Entries appear in the snapshot's (sorted-by-name) order, so equal
+// snapshots serialize byte-identically. `counts` has one more entry than
+// `bounds` (the trailing overflow bucket).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+// ToJson, written to `path`.
+Status WriteJson(const std::string& path, const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace tycos
+
+#endif  // TYCOS_OBS_JSON_H_

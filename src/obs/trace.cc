@@ -1,0 +1,65 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tycos {
+namespace obs {
+
+TraceNode* TraceNode::Child(const char* child_name) {
+  for (const std::unique_ptr<TraceNode>& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  children.push_back(std::make_unique<TraceNode>());
+  children.back()->name = child_name;
+  return children.back().get();
+}
+
+Tracer& Tracer::ThisThread() {
+  thread_local Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Push(const char* name) {
+  stack_.push_back(stack_.back()->Child(name));
+}
+
+void Tracer::Pop(double elapsed_seconds) {
+  if (stack_.size() <= 1) return;  // unmatched Pop; keep the root
+  TraceNode* node = stack_.back();
+  stack_.pop_back();
+  ++node->calls;
+  node->total_seconds += elapsed_seconds;
+}
+
+void Tracer::Reset() {
+  root_.children.clear();
+  stack_.clear();
+  stack_.push_back(&root_);
+}
+
+namespace {
+
+void RenderNode(const TraceNode& node, int indent, std::ostringstream* out) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%*s%s  %lld calls  %.6f s\n", indent * 2,
+                "", node.name.c_str(),
+                static_cast<long long>(node.calls), node.total_seconds);
+  *out << line;
+  for (const std::unique_ptr<TraceNode>& c : node.children) {
+    RenderNode(*c, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Tracer::Render() const {
+  std::ostringstream out;
+  for (const std::unique_ptr<TraceNode>& c : root_.children) {
+    RenderNode(*c, 0, &out);
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace tycos

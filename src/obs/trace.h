@@ -1,0 +1,119 @@
+// Scoped trace spans: lightweight wall-time instrumentation of the search
+// phases. A span covers a lexical scope; spans opened inside it nest into a
+// per-thread trace tree whose nodes merge same-named siblings, so a run's
+// tree reads like an aggregated flame graph:
+//
+//   tycos_run                 1 call   1.92 s
+//     init_scan              14 calls  0.31 s
+//       noise_initial        14 calls  0.29 s
+//     lahc_climb             14 calls  1.58 s
+//       noise_subsequent    412 calls  0.12 s
+//
+// Spans are a debugging/profiling feature and compile to ((void)0) unless
+// TYCOS_OBS_ENABLED is defined to 1 (`cmake --preset obs`, or
+// -DTYCOS_OBS=ON), so default builds pay nothing — the ≤1% overhead budget
+// for the always-on metrics layer (obs/metrics.h) does not cover spans.
+// Timing uses the repo's steady-clock Stopwatch. Placement rule (enforced
+// by tools/lint.py --span-hygiene): never open a span inside a per-point
+// inner loop — kNN distance kernels and incremental-KSG point updates run
+// millions of times per search and a span there measures mostly itself.
+//
+// The tree is thread-local: worker threads of a parallel fan-out each grow
+// their own tree (wall times are not meaningfully mergeable across threads,
+// and a shared tree would serialize the hot paths). Render or reset the
+// calling thread's tree via Tracer::ThisThread().
+
+#ifndef TYCOS_OBS_TRACE_H_
+#define TYCOS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+#ifndef TYCOS_OBS_ENABLED
+#define TYCOS_OBS_ENABLED 0
+#endif
+
+namespace tycos {
+namespace obs {
+
+// One aggregated node of a trace tree: all executions of span `name` at
+// this position in the call structure.
+struct TraceNode {
+  std::string name;
+  int64_t calls = 0;
+  double total_seconds = 0.0;
+  std::vector<std::unique_ptr<TraceNode>> children;
+
+  // The child named `name`, created on first use.
+  TraceNode* Child(const char* child_name);
+};
+
+// The calling thread's span stack and trace tree. Not thread-safe by
+// design — each thread owns exactly one (see ThisThread()).
+class Tracer {
+ public:
+  static Tracer& ThisThread();
+
+  Tracer() { stack_.push_back(&root_); }
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Push(const char* name);
+  // Closes the innermost open span, attributing `elapsed_seconds` to it.
+  // The root is never popped: an unmatched Pop is ignored.
+  void Pop(double elapsed_seconds);
+
+  // The synthetic root ("" name, no timing); its children are the
+  // top-level spans recorded on this thread.
+  const TraceNode& root() const { return root_; }
+  // Nesting depth of currently open spans (0 when none — the unwound
+  // state every early return and stack unwind must restore).
+  size_t depth() const { return stack_.size() - 1; }
+
+  void Reset();
+
+  // Indented tree rendering: "name  calls  seconds" per line.
+  std::string Render() const;
+
+ private:
+  TraceNode root_;
+  std::vector<TraceNode*> stack_;  // innermost open span at the back
+};
+
+// RAII span: pushes on construction, pops with its measured wall time on
+// destruction — so early returns, break/continue, and exceptions all
+// unwind the trace stack correctly.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) { Tracer::ThisThread().Push(name); }
+  ~ScopedSpan() { Tracer::ThisThread().Pop(watch_.ElapsedSeconds()); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Stopwatch watch_;
+};
+
+}  // namespace obs
+}  // namespace tycos
+
+// TYCOS_SPAN("name"): times the rest of the enclosing scope as a span in
+// the calling thread's trace tree. Compiled out entirely (including the
+// Stopwatch reads) unless TYCOS_OBS_ENABLED=1. The two-level concat gives
+// each expansion a unique variable name, so two spans may share a scope.
+#if TYCOS_OBS_ENABLED
+#define TYCOS_OBS_CONCAT_INNER(a, b) a##b
+#define TYCOS_OBS_CONCAT(a, b) TYCOS_OBS_CONCAT_INNER(a, b)
+#define TYCOS_SPAN(name) \
+  ::tycos::obs::ScopedSpan TYCOS_OBS_CONCAT(tycos_span_, __LINE__)(name)
+#else
+#define TYCOS_SPAN(name) ((void)0)
+#endif
+
+#endif  // TYCOS_OBS_TRACE_H_

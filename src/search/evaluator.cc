@@ -4,10 +4,30 @@
 #include <cmath>
 
 #include "mi/entropy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tycos {
 
 namespace {
+
+// Publishes `now - *flushed` on `counter` and advances the watermark.
+// Skipping the zero-delta case keeps a flush on an idle evaluator free.
+void FlushCounterDelta(obs::Counter* counter, int64_t now, int64_t* flushed) {
+  if (now == *flushed) return;
+  counter->Add(now - *flushed);
+  *flushed = now;
+}
+
+obs::Counter* MiEvaluationsCounter() {
+  static obs::Counter* c = obs::GetCounter("mi.evaluations");
+  return c;
+}
+
+obs::Counter* MiDegenerateCounter() {
+  static obs::Counter* c = obs::GetCounter("mi.degenerate_windows");
+  return c;
+}
 
 // Packs (start, end, delay) into one 64-bit key. 21 bits per field supports
 // series up to 2^21 (~2M) samples, far beyond the search scales here.
@@ -55,11 +75,19 @@ BatchEvaluator::BatchEvaluator(const SeriesPair& pair,
     : pair_(pair), params_(params) {}
 
 double BatchEvaluator::Score(const Window& w) {
+  TYCOS_SPAN("mi_batch_score");
   ++evaluations_;
   KsgOptions options = OptionsFrom(params_);
   options.diagnostics = &diagnostics_;
   const double raw = KsgMi(pair_, w, options);
   return NormalizeScore(raw, pair_, w, params_);
+}
+
+void BatchEvaluator::FlushObsCounters() {
+  FlushCounterDelta(MiEvaluationsCounter(), evaluations_,
+                    &flushed_evaluations_);
+  FlushCounterDelta(MiDegenerateCounter(), diagnostics_.degenerate_windows,
+                    &flushed_degenerate_);
 }
 
 IncrementalEvaluator::IncrementalEvaluator(const SeriesPair& pair,
@@ -71,6 +99,7 @@ IncrementalEvaluator::IncrementalEvaluator(const SeriesPair& pair,
       small_window_threshold_(small_window_threshold) {}
 
 double IncrementalEvaluator::Score(const Window& w) {
+  TYCOS_SPAN("mi_incremental_score");
   ++evaluations_;
   double raw;
   if (w.size() < small_window_threshold_) {
@@ -81,6 +110,17 @@ double IncrementalEvaluator::Score(const Window& w) {
     raw = ksg_.SetWindow(w);
   }
   return NormalizeScore(raw, pair_, w, params_);
+}
+
+void IncrementalEvaluator::FlushObsCounters() {
+  FlushCounterDelta(MiEvaluationsCounter(), evaluations_,
+                    &flushed_evaluations_);
+  // degenerate_windows() spans both the stateless small-window path and the
+  // incremental estimator; the ksg_ flush below covers the incremental.*
+  // family only, so nothing is double counted.
+  FlushCounterDelta(MiDegenerateCounter(), degenerate_windows(),
+                    &flushed_degenerate_);
+  ksg_.FlushObsCounters();
 }
 
 CachingEvaluator::CachingEvaluator(std::unique_ptr<WindowEvaluator> inner,
@@ -98,6 +138,12 @@ double CachingEvaluator::Score(const Window& w) {
   if (cache_.size() >= max_entries_) cache_.clear();
   cache_.emplace(key, score);
   return score;
+}
+
+void CachingEvaluator::FlushObsCounters() {
+  static obs::Counter* hits = obs::GetCounter("mi.cache_hits");
+  FlushCounterDelta(hits, hits_, &flushed_hits_);
+  inner_->FlushObsCounters();
 }
 
 std::unique_ptr<WindowEvaluator> MakeEvaluator(const SeriesPair& pair,

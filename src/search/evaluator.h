@@ -37,6 +37,14 @@ class WindowEvaluator {
 
   // Number of degenerate windows scored 0 by the estimator guard.
   virtual int64_t degenerate_windows() const { return 0; }
+
+  // Publishes this evaluator's locally accumulated work counters to the
+  // obs registry (mi.evaluations, mi.cache_hits, mi.degenerate_windows,
+  // incremental.*) as deltas since the previous flush. Searches call it at
+  // run / climb boundaries; Score() itself never touches an atomic, which
+  // is what keeps the always-on metrics inside the ≤1% overhead budget.
+  // Wrappers must forward to their inner evaluator.
+  virtual void FlushObsCounters() {}
 };
 
 // Scores each window independently with the batch KSG estimator.
@@ -50,12 +58,15 @@ class BatchEvaluator : public WindowEvaluator {
   int64_t degenerate_windows() const override {
     return diagnostics_.degenerate_windows;
   }
+  void FlushObsCounters() override;
 
  private:
   const SeriesPair& pair_;
   const TycosParams params_;
   KsgDiagnostics diagnostics_;
   int64_t evaluations_ = 0;
+  int64_t flushed_evaluations_ = 0;
+  int64_t flushed_degenerate_ = 0;
 };
 
 // Scores windows through a persistent IncrementalKsg, reusing kNN and
@@ -74,6 +85,7 @@ class IncrementalEvaluator : public WindowEvaluator {
   int64_t degenerate_windows() const override {
     return diagnostics_.degenerate_windows + ksg_.stats().degenerate_windows;
   }
+  void FlushObsCounters() override;
 
   const IncrementalKsgStats& incremental_stats() const {
     return ksg_.stats();
@@ -86,6 +98,8 @@ class IncrementalEvaluator : public WindowEvaluator {
   KsgDiagnostics diagnostics_;  // small-window (stateless) path counters
   int64_t small_window_threshold_;
   int64_t evaluations_ = 0;
+  int64_t flushed_evaluations_ = 0;
+  int64_t flushed_degenerate_ = 0;
 };
 
 // Exact memoization layer over another evaluator.
@@ -99,6 +113,7 @@ class CachingEvaluator : public WindowEvaluator {
   int64_t degenerate_windows() const override {
     return inner_->degenerate_windows();
   }
+  void FlushObsCounters() override;
 
   int64_t cache_hits() const { return hits_; }
 
@@ -107,6 +122,7 @@ class CachingEvaluator : public WindowEvaluator {
   std::unordered_map<uint64_t, double> cache_;
   size_t max_entries_;
   int64_t hits_ = 0;
+  int64_t flushed_hits_ = 0;
 };
 
 // Builds the evaluator stack for a search: incremental or batch core,

@@ -47,6 +47,7 @@ class FaultInjector : public WindowEvaluator {
   int64_t degenerate_windows() const override {
     return inner_->degenerate_windows();
   }
+  void FlushObsCounters() override { inner_->FlushObsCounters(); }
 
   int64_t scores_served() const { return scores_served_; }
   int64_t faults_injected() const { return faults_injected_; }

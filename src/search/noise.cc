@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tycos {
 
 namespace {
@@ -58,6 +61,9 @@ std::optional<Window> InitialNoisePruning(const SeriesPair& pair,
                                           WindowEvaluator& evaluator,
                                           const TycosParams& params,
                                           int64_t from, bool scan_delays) {
+  TYCOS_SPAN("noise_initial");
+  static obs::Counter* scans = obs::GetCounter("noise.initial_scans");
+  scans->Add(1);
   const double eps = params.epsilon();
   const int64_t n = pair.size();
   const int64_t block = params.s_min;
@@ -126,6 +132,9 @@ std::optional<Window> InitialNoisePruning(const SeriesPair& pair,
 int DetectSubsequentNoise(const SeriesPair& pair, WindowEvaluator& evaluator,
                           const TycosParams& params, const Window& w,
                           double current_score, DirectionMask* mask) {
+  TYCOS_SPAN("noise_subsequent");
+  static obs::Counter* tests = obs::GetCounter("noise.subsequent_tests");
+  tests->Add(1);
   const double eps = params.epsilon();
   const int64_t n = pair.size();
   const int64_t chunk_len = std::max(params.delta, params.s_min);

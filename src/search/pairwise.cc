@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tycos {
 
@@ -113,6 +115,10 @@ Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
   ThreadPool pool(threads - 1);
   const ThreadPool::ForStatus fs = pool.ParallelFor(
       total_pairs, ctx, [&](int64_t p) -> std::optional<StopReason> {
+        TYCOS_SPAN("pairwise_pair");
+        static obs::Counter* pairs_searched =
+            obs::GetCounter("pairwise.pairs_searched");
+        pairs_searched->Add(1);
         Slot& slot = slots[static_cast<size_t>(p)];
         const auto [a, b] = pairs[static_cast<size_t>(p)];
         PairwiseEntry& entry = slot.entry;

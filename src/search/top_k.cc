@@ -6,30 +6,59 @@
 
 namespace tycos {
 
+namespace {
+
+// Selection order: best score first; ties broken by coordinates so the
+// order (and hence the retained set) is a pure function of the offer *set*.
+bool SelectionOrder(const Window& a, const Window& b) {
+  if (a.mi != b.mi) return a.mi > b.mi;
+  if (a.start != b.start) return a.start < b.start;
+  if (a.end != b.end) return a.end < b.end;
+  return a.delay < b.delay;
+}
+
+bool SameWindow(const Window& a, const Window& b) {
+  return a.start == b.start && a.end == b.end && a.delay == b.delay;
+}
+
+}  // namespace
+
 TopKFilter::TopKFilter(int k) : k_(k) { TYCOS_CHECK_GE(k_, 1); }
 
 bool TopKFilter::Offer(const Window& w) {
-  // Replace a nested incumbent instead of keeping both scales of the same
-  // correlation (the result set is non-nesting).
-  for (size_t i = 0; i < windows_.size(); ++i) {
-    const Window& in = windows_[i];
-    if (Contains(in, w) || Contains(w, in)) {
-      if (in.mi >= w.mi) return false;
-      windows_.erase(windows_.begin() + static_cast<long>(i));
-      break;
+  // Dedup by coordinates, keeping the best score seen for the window.
+  auto it = std::find_if(offers_.begin(), offers_.end(),
+                         [&](const Window& o) { return SameWindow(o, w); });
+  if (it != offers_.end()) {
+    if (it->mi >= w.mi) {
+      return std::any_of(
+          selection_.begin(), selection_.end(),
+          [&](const Window& s) { return SameWindow(s, w); });
     }
+    offers_.erase(it);
   }
-  if (full() && w.mi <= CurrentSigma()) return false;
-  windows_.push_back(w);
-  std::sort(windows_.begin(), windows_.end(),
-            [](const Window& a, const Window& b) { return a.mi > b.mi; });
-  if (static_cast<int>(windows_.size()) > k_) windows_.pop_back();
-  return true;
+  offers_.insert(
+      std::upper_bound(offers_.begin(), offers_.end(), w, SelectionOrder), w);
+  RebuildSelection();
+  return std::any_of(selection_.begin(), selection_.end(),
+                     [&](const Window& s) { return SameWindow(s, w); });
+}
+
+void TopKFilter::RebuildSelection() {
+  selection_.clear();
+  for (const Window& o : offers_) {
+    if (static_cast<int>(selection_.size()) == k_) break;
+    const bool nests = std::any_of(
+        selection_.begin(), selection_.end(), [&](const Window& s) {
+          return Contains(s, o) || Contains(o, s);
+        });
+    if (!nests) selection_.push_back(o);
+  }
 }
 
 double TopKFilter::CurrentSigma() const {
   if (!full()) return 0.0;
-  return windows_.back().mi;
+  return selection_.back().mi;
 }
 
 }  // namespace tycos

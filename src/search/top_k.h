@@ -1,6 +1,15 @@
 // Top-K filtering (Section 6.3.2): maintains the K highest-scoring windows
 // seen so far and exposes the dynamic correlation threshold σ (the K-th best
 // score once the list fills).
+//
+// The retained set is non-nesting (no window Contains another) and
+// insertion-order-independent: the filter remembers every offer and keeps
+// the greedy selection over all of them — sorted by (score desc, start, end,
+// delay), take each window that nests with no already-taken one, stop at K.
+// Evicting incumbents pairwise instead (the previous implementation) made
+// membership depend on arrival order: with A ⊃ B, A ⊃ C, B and C disjoint
+// and scores B > A > C, offering B…A…C kept {B, C} while A…B…C kept {B}
+// only — and one nested pass could even leave two nested windows in place.
 
 #ifndef TYCOS_SEARCH_TOP_K_H_
 #define TYCOS_SEARCH_TOP_K_H_
@@ -15,21 +24,29 @@ class TopKFilter {
  public:
   explicit TopKFilter(int k);
 
-  // Offers a scored window. Nested duplicates of an incumbent (Contains in
-  // either direction) replace it only on a higher score. Returns true when
-  // the window enters the list.
+  // Offers a scored window. Re-offers of the same (start, end, delay) keep
+  // the highest score seen. Returns true when the window is in the retained
+  // selection afterwards. O(offers · K) per call; offers are climb results,
+  // not per-evaluation candidates, so the quadratic stays small.
   bool Offer(const Window& w);
 
-  // The dynamic σ: 0 until the list is full, then the minimum score held.
+  // The dynamic σ: 0 until the selection is full, then the minimum score
+  // retained.
   double CurrentSigma() const;
 
-  bool full() const { return static_cast<int>(windows_.size()) == k_; }
-  const std::vector<Window>& windows() const { return windows_; }
+  bool full() const { return static_cast<int>(selection_.size()) == k_; }
+  const std::vector<Window>& windows() const { return selection_; }
   int k() const { return k_; }
 
  private:
+  // Recomputes selection_ from offers_ (kept in selection order).
+  void RebuildSelection();
+
   int k_;
-  std::vector<Window> windows_;  // kept sorted by descending score
+  // Every distinct window offered, best score per window, sorted by
+  // (mi desc, start, end, delay) — the deterministic selection order.
+  std::vector<Window> offers_;
+  std::vector<Window> selection_;  // greedy non-nesting prefix, size <= k_
 };
 
 }  // namespace tycos

@@ -5,6 +5,8 @@
 
 #include "audit/audit.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/top_k.h"
 
 namespace tycos {
@@ -43,7 +45,68 @@ Status ValidateForSearch(const SeriesPair& pair, const TycosParams& params) {
   return pair.y().Validate();
 }
 
+// The registry counters Run(ctx) folds back into TycosStats. Resolved once;
+// the registry owns the counters for the process lifetime.
+struct RunCounterBindings {
+  obs::Counter* climbs = obs::GetCounter("tycos.climbs");
+  obs::Counter* accepted = obs::GetCounter("tycos.accepted_moves");
+  obs::Counter* rejected = obs::GetCounter("tycos.rejected_moves");
+  obs::Counter* noise_blocked = obs::GetCounter("tycos.noise_blocked");
+  obs::Counter* non_finite = obs::GetCounter("tycos.non_finite_scores");
+  obs::Counter* evaluations = obs::GetCounter("mi.evaluations");
+  obs::Counter* cache_hits = obs::GetCounter("mi.cache_hits");
+  obs::Counter* degenerate = obs::GetCounter("mi.degenerate_windows");
+};
+
+const RunCounterBindings& Bindings() {
+  static const RunCounterBindings b;
+  return b;
+}
+
+// Point-in-time values of the bound counters, for before/after run deltas.
+struct RunCounterValues {
+  int64_t climbs = 0;
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  int64_t noise_blocked = 0;
+  int64_t non_finite = 0;
+  int64_t evaluations = 0;
+  int64_t cache_hits = 0;
+  int64_t degenerate = 0;
+};
+
+RunCounterValues CaptureRunCounters() {
+  const RunCounterBindings& b = Bindings();
+  RunCounterValues v;
+  v.climbs = b.climbs->Value();
+  v.accepted = b.accepted->Value();
+  v.rejected = b.rejected->Value();
+  v.noise_blocked = b.noise_blocked->Value();
+  v.non_finite = b.non_finite->Value();
+  v.evaluations = b.evaluations->Value();
+  v.cache_hits = b.cache_hits->Value();
+  v.degenerate = b.degenerate->Value();
+  return v;
+}
+
 }  // namespace
+
+void Tycos::FlushClimbCounters(const ClimbCounters& c) {
+  const RunCounterBindings& b = Bindings();
+  b.climbs->Add(1);
+  if (c.accepted_moves > 0) b.accepted->Add(c.accepted_moves);
+  if (c.rejected_moves > 0) b.rejected->Add(c.rejected_moves);
+  if (c.noise_blocked > 0) b.noise_blocked->Add(c.noise_blocked);
+  if (c.non_finite_scores > 0) b.non_finite->Add(c.non_finite_scores);
+  static obs::Histogram* accept_ratio = obs::GetHistogram(
+      "tycos.climb_accept_ratio",
+      {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  const int64_t moves = c.accepted_moves + c.rejected_moves;
+  if (moves > 0) {
+    accept_ratio->Observe(static_cast<double>(c.accepted_moves) /
+                          static_cast<double>(moves));
+  }
+}
 
 Tycos::EvaluatorStack Tycos::BuildEvaluator() const {
   EvaluatorStack stack;
@@ -112,7 +175,7 @@ void Tycos::WrapEvaluatorForTest(const EvaluatorWrapper& wrap) {
 double Tycos::SafeScore(const ClimbContext& cc, const Window& w) const {
   const double score = cc.evaluator->Score(w);
   if (!std::isfinite(score)) {
-    ++cc.stats->non_finite_scores;
+    ++cc.counters->non_finite_scores;
     return 0.0;
   }
   return score;
@@ -152,6 +215,7 @@ std::vector<Window> Tycos::GenerateNeighbors(const Window& w, int level,
 Window Tycos::Climb(const ClimbContext& cc, const Window& w0,
                     const RunContext& ctx,
                     std::optional<StopReason>* stop) const {
+  TYCOS_SPAN("lahc_climb");
   Window w = w0;
   Window best_seen = w0;
   LahcHistory history(params_.history_length, w0.mi);
@@ -164,7 +228,7 @@ Window Tycos::Climb(const ClimbContext& cc, const Window& w0,
       return best_seen;
     }
     if (use_noise()) {
-      cc.stats->noise_blocked += DetectSubsequentNoise(
+      cc.counters->noise_blocked += DetectSubsequentNoise(
           pair_, *cc.evaluator, params_, w, w.mi, &mask);
     }
     std::vector<Window> neighbors = GenerateNeighbors(w, level, mask);
@@ -196,13 +260,13 @@ Window Tycos::Climb(const ClimbContext& cc, const Window& w0,
       idle = 0;
       level = 1;
       mask.Reset();  // the local context moved; re-derive noise directions
-      ++cc.stats->accepted_moves;
+      ++cc.counters->accepted_moves;
       if (w.mi > best_seen.mi) best_seen = w;
     } else {
       // Policy 2: no improvement in this neighbourhood; widen it.
       ++idle;
       level = std::min(level + 1, params_.max_neighborhood_level);
-      ++cc.stats->rejected_moves;
+      ++cc.counters->rejected_moves;
     }
     if (w.mi > history.ValueAt(slot)) history.Update(slot, w.mi);
   }
@@ -215,6 +279,14 @@ WindowSet Tycos::Run() {
 }
 
 Result<SearchOutcome> Tycos::Run(const RunContext& ctx) {
+  TYCOS_SPAN("tycos_run");
+  // The registry is the source of truth for work counters; stats_ is this
+  // engine's view of it, maintained as the delta observed across the
+  // dispatch (climbs and evaluators publish at climb/run boundaries, so the
+  // counters are settled by the time the dispatch returns). Same windowing
+  // caveat as the audit block below: concurrent runs in other threads can
+  // inflate a delta.
+  const RunCounterValues counters_before = CaptureRunCounters();
 #if TYCOS_AUDIT_ENABLED
   // Surface the audit activity of this run through stats(): record the
   // process-wide registry delta across the dispatch. Concurrent runs in
@@ -232,6 +304,24 @@ Result<SearchOutcome> Tycos::Run(const RunContext& ctx) {
   stats_.audit_failures +=
       audit::Registry::Instance().TotalFailures() - failures_before;
 #endif
+  const RunCounterValues counters_after = CaptureRunCounters();
+  stats_.climbs += counters_after.climbs - counters_before.climbs;
+  stats_.accepted_moves += counters_after.accepted - counters_before.accepted;
+  stats_.rejected_moves += counters_after.rejected - counters_before.rejected;
+  stats_.noise_blocked +=
+      counters_after.noise_blocked - counters_before.noise_blocked;
+  stats_.non_finite_scores +=
+      counters_after.non_finite - counters_before.non_finite;
+  stats_.mi_evaluations +=
+      counters_after.evaluations - counters_before.evaluations;
+  stats_.cache_hits += counters_after.cache_hits - counters_before.cache_hits;
+  stats_.degenerate_windows +=
+      counters_after.degenerate - counters_before.degenerate;
+  if (out.ok()) {
+    static obs::Gauge* last_windows =
+        obs::GetGauge("tycos.last_windows_found");
+    last_windows->Set(stats_.windows_found);
+  }
   return out;
 }
 
@@ -241,12 +331,13 @@ Result<SearchOutcome> Tycos::RunSequential(const RunContext& ctx) {
   TopKFilter top_k(params_.top_k > 0 ? params_.top_k : 1);
   const bool dynamic_sigma = params_.top_k > 0;
   const int64_t n = pair_.size();
-  const ClimbContext cc{evaluator_.get(), &rng_, &stats_};
 
   std::optional<StopReason> stop;
   int64_t cursor = 0;
   while (cursor + params_.s_min <= n) {
     if ((stop = ctx.ShouldStop(evaluator_->evaluations()))) break;
+    ClimbCounters counters;
+    const ClimbContext cc{evaluator_.get(), &rng_, &counters};
     Window w0;
     if (use_noise()) {
       std::optional<Window> init = InitialNoisePruning(
@@ -254,15 +345,15 @@ Result<SearchOutcome> Tycos::RunSequential(const RunContext& ctx) {
       if (!init.has_value()) break;  // nothing above ε remains
       w0 = *init;
       if (!std::isfinite(w0.mi)) {
-        ++stats_.non_finite_scores;
+        ++counters.non_finite_scores;
         w0.mi = 0.0;
       }
     } else {
       w0 = Window(cursor, cursor + params_.s_min - 1, 0);
       w0.mi = SafeScore(cc, w0);
     }
-    ++stats_.climbs;
     const Window w = Climb(cc, w0, ctx, &stop);
+    FlushClimbCounters(counters);
 
     // Even when the climb was interrupted, its best-so-far window is a
     // genuinely evaluated candidate: offering it through the normal accept
@@ -281,15 +372,16 @@ Result<SearchOutcome> Tycos::RunSequential(const RunContext& ctx) {
   }
 
   if (dynamic_sigma) {
+    TYCOS_SPAN("extract");
     for (const Window& w : top_k.windows()) results.Insert(w);
   }
   outcome.partial = stop.has_value();
   outcome.stop_reason = stop.value_or(StopReason::kCompleted);
   stats_.stop_reason = outcome.stop_reason;
   stats_.windows_found = static_cast<int64_t>(results.size());
-  stats_.mi_evaluations = evaluator_->evaluations();
-  stats_.degenerate_windows = evaluator_->degenerate_windows();
-  if (cache_ != nullptr) stats_.cache_hits = cache_->cache_hits();
+  // Settle the evaluator stack's locally tallied work (mi.*, incremental.*)
+  // so the caller's registry delta covers this run in full.
+  evaluator_->FlushObsCounters();
   return outcome;
 }
 
@@ -301,11 +393,12 @@ Result<SearchOutcome> Tycos::RunMultiRestart(const RunContext& ctx) {
   const int64_t usable = n - params_.s_min + 1;
 
   // Everything a climb produces, written only by the executor that claimed
-  // its index and read only after the ParallelFor join.
+  // its index and read only after the ParallelFor join. Work counters are
+  // absent: each climb publishes its own tallies to the obs registry before
+  // returning, and Run(ctx) folds the registry delta into stats_.
   struct ClimbResult {
     bool has_window = false;
     Window window;
-    TycosStats stats;  // this climb's counters only
     std::optional<StopReason> stop;
   };
   std::vector<ClimbResult> climbs(static_cast<size_t>(restarts));
@@ -351,6 +444,8 @@ Result<SearchOutcome> Tycos::RunMultiRestart(const RunContext& ctx) {
         }
         Rng rng(DeriveStreamSeed(seed_, static_cast<uint64_t>(r)));
         const int64_t cursor = r * usable / restarts;
+        ClimbCounters counters;
+        const ClimbContext cc{stack.evaluator.get(), &rng, &counters};
 
         Window w0;
         bool have_start = false;
@@ -360,29 +455,26 @@ Result<SearchOutcome> Tycos::RunMultiRestart(const RunContext& ctx) {
           if (init.has_value()) {
             w0 = *init;
             if (!std::isfinite(w0.mi)) {
-              ++out.stats.non_finite_scores;
+              ++counters.non_finite_scores;
               w0.mi = 0.0;
             }
             have_start = true;
           }
         } else {
           w0 = Window(cursor, cursor + params_.s_min - 1, 0);
-          const ClimbContext cc{stack.evaluator.get(), &rng, &out.stats};
           w0.mi = SafeScore(cc, w0);
           have_start = true;
         }
 
         if (have_start) {
-          ++out.stats.climbs;
-          const ClimbContext cc{stack.evaluator.get(), &rng, &out.stats};
           out.window = Climb(cc, w0, ctx, &out.stop);
           out.has_window = true;
+          FlushClimbCounters(counters);
         }
-        out.stats.mi_evaluations = stack.evaluator->evaluations();
-        out.stats.degenerate_windows = stack.evaluator->degenerate_windows();
-        if (stack.cache != nullptr) {
-          out.stats.cache_hits = stack.cache->cache_hits();
-        }
+        // Settle this climb's evaluator stack before it is destroyed; the
+        // registry sums are per-climb integers, so the run total is
+        // bit-identical at any thread count.
+        stack.evaluator->FlushObsCounters();
         // A per-climb budget exhausting is local (every climb carries the
         // same budget); only global limits end the whole run.
         if (out.stop == StopReason::kDeadlineExceeded ||
@@ -393,21 +485,15 @@ Result<SearchOutcome> Tycos::RunMultiRestart(const RunContext& ctx) {
       });
 
   // Merge in climb-index order — never completion order — so the result set
-  // and the summed stats are bit-identical at every thread count.
+  // is bit-identical at every thread count. (The registry counters need no
+  // ordering: integer sums commute.)
+  TYCOS_SPAN("extract");
   SearchOutcome outcome;
   TopKFilter top_k(params_.top_k > 0 ? params_.top_k : 1);
   const bool dynamic_sigma = params_.top_k > 0;
   std::optional<StopReason> stop;
   for (int64_t r = 0; r < fs.claimed; ++r) {
     const ClimbResult& c = climbs[static_cast<size_t>(r)];
-    stats_.climbs += c.stats.climbs;
-    stats_.accepted_moves += c.stats.accepted_moves;
-    stats_.rejected_moves += c.stats.rejected_moves;
-    stats_.noise_blocked += c.stats.noise_blocked;
-    stats_.mi_evaluations += c.stats.mi_evaluations;
-    stats_.cache_hits += c.stats.cache_hits;
-    stats_.non_finite_scores += c.stats.non_finite_scores;
-    stats_.degenerate_windows += c.stats.degenerate_windows;
     if (c.stop.has_value() && !stop.has_value()) stop = c.stop;
     if (!c.has_window) continue;
     if (dynamic_sigma) {

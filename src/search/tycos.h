@@ -31,6 +31,15 @@ enum class TycosVariant { kL, kLN, kLM, kLMN };
 
 const char* TycosVariantName(TycosVariant v);
 
+// Per-run work summary. The counter-like fields are no longer incremented
+// directly: climbs and their evaluators tally work in plain locals, publish
+// to the obs metrics registry (src/obs/metrics.h) at climb/run boundaries,
+// and Run(ctx) folds the registry delta observed across the dispatch into
+// these fields — the registry is the source of truth and this struct is a
+// per-engine view of it. Concurrent runs in other threads can inflate a
+// delta (as with the audit counters below); within one run the totals are
+// sums of per-climb integers, so they stay bit-identical at any thread
+// count.
 struct TycosStats {
   int64_t climbs = 0;            // local searches (restarts included)
   int64_t accepted_moves = 0;
@@ -96,8 +105,9 @@ class Tycos {
   // engine: independent climbs from stratified start positions, fanned
   // across params.num_threads executors, each climb owning its evaluator
   // stack and a SplitMix-derived RNG stream. Candidate windows are merged
-  // into the result set in climb-index order and per-climb stats are summed
-  // at join, so the outcome (windows *and* stats) is bit-identical at any
+  // into the result set in climb-index order, and each climb publishes its
+  // work tallies to the obs registry before finishing (integer sums
+  // commute), so the outcome (windows *and* stats) is bit-identical at any
   // thread count. The evaluation budget then applies per climb;
   // deadline/cancel stop every climb.
   Result<SearchOutcome> Run(const RunContext& ctx);
@@ -119,15 +129,31 @@ class Tycos {
   Tycos(Validated, const SeriesPair& pair, const TycosParams& params,
         TycosVariant variant, uint64_t seed);
 
+  // Plain-int tallies of one climb. Climb() only ever touches these locals;
+  // FlushClimbCounters (tycos.cc) publishes them to the obs registry once
+  // per climb, which is what keeps the LAHC loop atomic-free.
+  struct ClimbCounters {
+    int64_t accepted_moves = 0;
+    int64_t rejected_moves = 0;
+    int64_t noise_blocked = 0;
+    int64_t non_finite_scores = 0;
+  };
+
   // The per-climb execution state a climb reads and mutates. The sequential
-  // scan binds it to the member evaluator/rng/stats; each multi-restart
-  // climb owns a private set, which is what makes climbs safe to run
-  // concurrently.
+  // scan binds a fresh counter block per climb to the member evaluator/rng;
+  // each multi-restart climb owns a private set, which is what makes climbs
+  // safe to run concurrently.
   struct ClimbContext {
     WindowEvaluator* evaluator;
     Rng* rng;
-    TycosStats* stats;
+    ClimbCounters* counters;
   };
+
+  // Publishes one finished climb to the obs registry: tycos.climbs, the
+  // tycos.* move/noise/score counters, and the per-climb acceptance-ratio
+  // histogram. The ratio is a pure function of the climb's local tallies,
+  // so the histogram stays thread-count-invariant.
+  static void FlushClimbCounters(const ClimbCounters& c);
 
   // An evaluator stack as the constructor builds it (incremental or batch
   // core, optional cache), plus a view on the cache for stats reads.

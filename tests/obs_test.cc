@@ -1,0 +1,267 @@
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/run_context.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tycos {
+namespace obs {
+namespace {
+
+// The registry is process-wide; each test works on uniquely named metrics
+// (and resets up front) so tests stay independent of each other and of any
+// searches other test binaries' fixtures may have run.
+class ObsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Instance().ResetAllForTest(); }
+};
+
+TEST_F(ObsRegistryTest, CounterFindOrCreateReturnsStableHandle) {
+  Counter* a = GetCounter("test.stable_handle");
+  Counter* b = GetCounter("test.stable_handle");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3);
+}
+
+TEST_F(ObsRegistryTest, ShardedCounterAggregatesAcrossThreads) {
+  Counter* c = GetCounter("test.sharded_sum");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c->Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), int64_t{kThreads} * kAddsPerThread);
+}
+
+TEST_F(ObsRegistryTest, GaugeLastWriteWins) {
+  Gauge* g = GetGauge("test.gauge");
+  EXPECT_EQ(g->Value(), 0);
+  g->Set(7);
+  g->Set(-2);
+  EXPECT_EQ(g->Value(), -2);
+}
+
+TEST_F(ObsRegistryTest, HistogramBucketEdges) {
+  Histogram* h = GetHistogram("test.buckets", {1.0, 2.0, 4.0});
+  h->Observe(0.5);   // below first bound -> bucket 0
+  h->Observe(1.0);   // exactly on a bound -> that bucket (v <= bound)
+  h->Observe(1.5);   // bucket 1
+  h->Observe(4.0);   // last bounded bucket
+  h->Observe(4.01);  // above every bound -> overflow
+  const HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2);  // 0.5 and 1.0
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.counts[3], 1);
+  EXPECT_EQ(snap.total(), 5);
+}
+
+TEST_F(ObsRegistryTest, HistogramNanGoesToOverflow) {
+  Histogram* h = GetHistogram("test.nan", {1.0, 2.0});
+  h->Observe(std::nan(""));
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.counts[0], 0);
+  EXPECT_EQ(snap.counts[1], 0);
+  EXPECT_EQ(snap.counts[2], 1);
+}
+
+TEST_F(ObsRegistryTest, HistogramObserveCountBulk) {
+  Histogram* h = GetHistogram("test.bulk", {0.0, 1.0, 2.0});
+  h->ObserveCount(0.0, 40);
+  h->ObserveCount(2.0, 2);
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.counts[0], 40);
+  EXPECT_EQ(snap.counts[2], 2);
+  EXPECT_EQ(snap.total(), 42);
+}
+
+TEST_F(ObsRegistryTest, HistogramShardedObserveAggregatesAcrossThreads) {
+  Histogram* h = GetHistogram("test.sharded_hist", {0.0, 1.0});
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 0; i < 1000; ++i) h->Observe(i % 2 == 0 ? 0.0 : 1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.counts[0], 8 * 500);
+  EXPECT_EQ(snap.counts[1], 8 * 500);
+}
+
+TEST_F(ObsRegistryTest, FirstHistogramBoundsWin) {
+  Histogram* a = GetHistogram("test.bounds_win", {1.0, 2.0});
+  Histogram* b = GetHistogram("test.bounds_win", {9.0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->bounds().size(), 2u);
+}
+
+TEST_F(ObsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  Counter* c = GetCounter("test.reset");
+  Histogram* h = GetHistogram("test.reset_hist", {1.0});
+  c->Add(5);
+  h->Observe(0.5);
+  Registry::Instance().ResetAllForTest();
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(h->Snapshot().total(), 0);
+  c->Add(2);  // handle still live
+  EXPECT_EQ(c->Value(), 2);
+}
+
+TEST_F(ObsRegistryTest, SnapshotIsSortedByName) {
+  GetCounter("test.zebra")->Add(1);
+  GetCounter("test.alpha")->Add(1);
+  const MetricsSnapshot snap = Snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  EXPECT_EQ(snap.CounterValue("test.alpha"), 1);
+  EXPECT_EQ(snap.CounterValue("test.never_registered"), 0);
+}
+
+TEST_F(ObsRegistryTest, JsonIsDeterministicAndWellFormed) {
+  GetCounter("test.json_counter")->Add(3);
+  GetGauge("test.json_gauge")->Set(-1);
+  GetHistogram("test.json_hist", {0.5, 1.5})->Observe(1.0);
+  const std::string a = ToJson(Snapshot());
+  const std::string b = ToJson(Snapshot());
+  EXPECT_EQ(a, b);  // equal state -> byte-identical rendering
+  EXPECT_NE(a.find("\"test.json_counter\": 3"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(a.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(a.find("\"bounds\""), std::string::npos);
+}
+
+TEST_F(ObsRegistryTest, WriteJsonWritesFile) {
+  GetCounter("test.json_file")->Add(1);
+  const std::string path = ::testing::TempDir() + "/tycos_metrics.json";
+  ASSERT_TRUE(WriteJson(path, Snapshot()).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("test.json_file"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- Trace spans. ScopedSpan/Tracer are always compiled (only the
+// TYCOS_SPAN macro is gated), so the tree mechanics are testable in every
+// configuration.
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::ThisThread().Reset(); }
+};
+
+TEST_F(ObsTraceTest, SpansNestIntoTree) {
+  {
+    ScopedSpan run("run");
+    {
+      ScopedSpan climb("climb");
+      { ScopedSpan noise("noise"); }
+      { ScopedSpan noise("noise"); }  // same-name sibling merges
+    }
+    { ScopedSpan extract("extract"); }
+  }
+  const Tracer& tracer = Tracer::ThisThread();
+  EXPECT_EQ(tracer.depth(), 0u);
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  const TraceNode& run = *tracer.root().children[0];
+  EXPECT_EQ(run.name, "run");
+  EXPECT_EQ(run.calls, 1);
+  ASSERT_EQ(run.children.size(), 2u);
+  EXPECT_EQ(run.children[0]->name, "climb");
+  ASSERT_EQ(run.children[0]->children.size(), 1u);
+  EXPECT_EQ(run.children[0]->children[0]->calls, 2);  // merged siblings
+  EXPECT_EQ(run.children[1]->name, "extract");
+}
+
+TEST_F(ObsTraceTest, EarlyReturnUnwindsTheStack) {
+  const auto early_return = [](bool bail) {
+    ScopedSpan outer("outer");
+    if (bail) return 1;  // RAII must pop on this path too
+    ScopedSpan inner("inner");
+    return 2;
+  };
+  EXPECT_EQ(early_return(true), 1);
+  EXPECT_EQ(Tracer::ThisThread().depth(), 0u);
+  EXPECT_EQ(early_return(false), 2);
+  EXPECT_EQ(Tracer::ThisThread().depth(), 0u);
+  const TraceNode& outer = *Tracer::ThisThread().root().children[0];
+  EXPECT_EQ(outer.calls, 2);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0]->calls, 1);  // inner only ran once
+}
+
+TEST_F(ObsTraceTest, CancellationStyleUnwindRestoresDepth) {
+  // The shape every search phase has: spans open, a RunContext fires, the
+  // function returns early through several RAII frames.
+  RunContext ctx;
+  const auto climb = [&ctx]() -> int {
+    ScopedSpan run("cancel_run");
+    for (int i = 0; i < 10; ++i) {
+      ScopedSpan step("cancel_step");
+      if (i == 2) ctx.RequestCancel();
+      if (ctx.ShouldStop()) return i;
+    }
+    return -1;
+  };
+  EXPECT_EQ(climb(), 2);
+  EXPECT_EQ(Tracer::ThisThread().depth(), 0u);
+  const TraceNode& run = *Tracer::ThisThread().root().children[0];
+  ASSERT_EQ(run.children.size(), 1u);
+  EXPECT_EQ(run.children[0]->calls, 3);  // i = 0, 1, 2
+}
+
+TEST_F(ObsTraceTest, UnmatchedPopIsIgnored) {
+  Tracer& tracer = Tracer::ThisThread();
+  tracer.Pop(1.0);  // nothing open: must not underflow past the root
+  EXPECT_EQ(tracer.depth(), 0u);
+  tracer.Push("solo");
+  tracer.Pop(0.25);
+  tracer.Pop(1.0);  // extra pop after the stack emptied
+  EXPECT_EQ(tracer.depth(), 0u);
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.root().children[0]->total_seconds, 0.25);
+}
+
+TEST_F(ObsTraceTest, RenderListsSpans) {
+  {
+    ScopedSpan outer("render_outer");
+    ScopedSpan inner("render_inner");
+  }
+  const std::string out = Tracer::ThisThread().Render();
+  EXPECT_NE(out.find("render_outer"), std::string::npos) << out;
+  EXPECT_NE(out.find("render_inner"), std::string::npos) << out;
+}
+
+TEST_F(ObsTraceTest, MacroCompilesInBothModes) {
+  // In default builds TYCOS_SPAN is ((void)0); under TYCOS_OBS=ON it opens
+  // a real span. Either way this must compile and leave the stack balanced.
+  {
+    TYCOS_SPAN("macro_span");
+    TYCOS_SPAN("macro_span_sibling");  // unique variable names per line
+  }
+  EXPECT_EQ(Tracer::ThisThread().depth(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tycos

@@ -81,6 +81,49 @@ TEST(RenderReportTest, TimeUnitsWhenSamplingKnown) {
   EXPECT_NE(md.find(" h "), std::string::npos);
 }
 
+// Regression: durations below one second used to fall into the "%.0f s"
+// branch and render as the indistinguishable-from-zero "0 s".
+TEST(RenderReportTest, SubSecondDurationsRenderAsMilliseconds) {
+  const Rendered r = MakeRun();
+  WindowSet ws;
+  ws.Insert(Window(10, 50, 1, 0.8));
+  ws.Insert(Window(100, 150, -2, 0.7));  // negative delay renders signed
+  ReportOptions opt;
+  opt.seconds_per_sample = 0.004;  // 4 ms samples (250 Hz)
+  const std::string md =
+      RenderReport(r.ds.pair, r.params, ws, r.stats, opt);
+  EXPECT_NE(md.find("| 4 ms |"), std::string::npos) << md;
+  EXPECT_NE(md.find("| -8 ms |"), std::string::npos) << md;
+  EXPECT_NE(md.find("40 ms"), std::string::npos) << md;  // window start
+  EXPECT_EQ(md.find("| 0 s |"), std::string::npos) << md;
+}
+
+TEST(RenderReportTest, ZeroDurationStillRendersAsZeroSeconds) {
+  const Rendered r = MakeRun();
+  WindowSet ws;
+  ws.Insert(Window(0, 50, 0, 0.8));  // starts at t=0 with no lag
+  ReportOptions opt;
+  opt.seconds_per_sample = 0.004;
+  const std::string md =
+      RenderReport(r.ds.pair, r.params, ws, r.stats, opt);
+  // Both the t=0 window start and the zero lag are exactly zero.
+  EXPECT_NE(md.find("| 0 s – 204 ms | 0 s |"), std::string::npos) << md;
+}
+
+TEST(RenderReportTest, MetricsSectionOnlyWhenRequested) {
+  const Rendered r = MakeRun();
+  EXPECT_EQ(
+      RenderReport(r.ds.pair, r.params, r.windows, r.stats).find("## Metrics"),
+      std::string::npos);
+  ReportOptions opt;
+  opt.include_metrics = true;
+  const std::string md =
+      RenderReport(r.ds.pair, r.params, r.windows, r.stats, opt);
+  EXPECT_NE(md.find("## Metrics"), std::string::npos);
+  // The run above performed MI work, so the registry section is non-empty.
+  EXPECT_NE(md.find("mi.evaluations"), std::string::npos);
+}
+
 TEST(RenderReportTest, MentionsTheilerWindowOnlyWhenSet) {
   const Rendered r = MakeRun();
   EXPECT_EQ(RenderReport(r.ds.pair, r.params, r.windows, r.stats)

@@ -1,9 +1,36 @@
 #include "search/top_k.h"
 
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace tycos {
 namespace {
+
+using WindowKey = std::tuple<int64_t, int64_t, int64_t>;
+
+WindowKey KeyOf(const Window& w) { return {w.start, w.end, w.delay}; }
+
+std::set<WindowKey> Membership(const TopKFilter& f) {
+  std::set<WindowKey> keys;
+  for (const Window& w : f.windows()) keys.insert(KeyOf(w));
+  return keys;
+}
+
+bool NonNesting(const std::vector<Window>& ws) {
+  for (size_t i = 0; i < ws.size(); ++i) {
+    for (size_t j = i + 1; j < ws.size(); ++j) {
+      if (Contains(ws[i], ws[j]) || Contains(ws[j], ws[i])) return false;
+    }
+  }
+  return true;
+}
 
 TEST(TopKFilterTest, SigmaIsZeroUntilFull) {
   TopKFilter f(3);
@@ -44,6 +71,92 @@ TEST(TopKFilterTest, NestedWindowReplacesOnlyOnHigherScore) {
   EXPECT_TRUE(f.Offer(Window(5, 15, 0, 0.8)));  // nested, stronger
   ASSERT_EQ(f.windows().size(), 1u);
   EXPECT_EQ(f.windows()[0].start, 5);
+}
+
+// Regression: the pre-fix Offer() evicted only the *first* nested incumbent
+// it found and broke out of the scan, so a big window offered over two
+// disjoint retained ones left itself nested with the second — the retained
+// set violated the non-nesting invariant.
+TEST(TopKFilterTest, BigWindowOverTwoDisjointIncumbentsStaysNonNesting) {
+  TopKFilter f(3);
+  f.Offer(Window(0, 10, 0, 0.6));   // B
+  f.Offer(Window(20, 30, 0, 0.4));  // C, disjoint from B
+  f.Offer(Window(0, 30, 0, 0.5));   // A contains both
+  EXPECT_TRUE(NonNesting(f.windows()));
+  // Greedy by score: B (0.6) wins first, A (0.5) nests with B and is
+  // dropped, C (0.4) survives.
+  EXPECT_EQ(Membership(f),
+            (std::set<WindowKey>{{0, 10, 0}, {20, 30, 0}}));
+}
+
+// Regression: membership must be a function of the offer *set*. The pre-fix
+// filter kept {A} when A arrived before B and C, but {B, C} when A arrived
+// between them.
+TEST(TopKFilterTest, MembershipIsOfferOrderIndependent) {
+  const std::vector<Window> offers = {
+      Window(0, 30, 0, 0.5),   // A contains B and C
+      Window(0, 10, 0, 0.6),   // B
+      Window(20, 30, 0, 0.4),  // C
+  };
+  std::vector<size_t> order = {0, 1, 2};
+  std::optional<std::set<WindowKey>> expected;
+  do {
+    TopKFilter f(2);
+    for (size_t i : order) f.Offer(offers[i]);
+    EXPECT_TRUE(NonNesting(f.windows()));
+    if (!expected.has_value()) {
+      expected = Membership(f);
+    } else {
+      EXPECT_EQ(Membership(f), *expected)
+          << "membership depends on offer order " << order[0] << order[1]
+          << order[2];
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+// Property sweep: random nested/overlapping offer pools, every permutation
+// of each pool. The retained set must always be non-nesting, never exceed
+// K, and have permutation-invariant membership.
+TEST(TopKFilterTest, PropertyNonNestingAndOrderIndependentMembership) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Window> pool;
+    const int pool_size = static_cast<int>(rng.UniformInt(2, 6));
+    for (int i = 0; i < pool_size; ++i) {
+      const int64_t start = rng.UniformInt(0, 5) * 5;
+      const int64_t len = 5 + rng.UniformInt(0, 3) * 10;
+      const int64_t delay = rng.UniformInt(0, 1);
+      // Quantized scores make ties common, exercising the tie-break.
+      const double mi = static_cast<double>(rng.UniformInt(1, 8)) / 10.0;
+      pool.push_back(Window(start, start + len, delay, mi));
+    }
+    std::vector<size_t> order(pool.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::optional<std::set<WindowKey>> expected;
+    do {
+      TopKFilter f(3);
+      for (size_t i : order) f.Offer(pool[i]);
+      ASSERT_LE(f.windows().size(), 3u);
+      ASSERT_TRUE(NonNesting(f.windows())) << "trial " << trial;
+      if (!expected.has_value()) {
+        expected = Membership(f);
+      } else {
+        ASSERT_EQ(Membership(f), *expected) << "trial " << trial;
+      }
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+}
+
+// Re-offering the same window must keep its best score and stay idempotent.
+TEST(TopKFilterTest, ReOfferKeepsBestScore) {
+  TopKFilter f(2);
+  EXPECT_TRUE(f.Offer(Window(0, 10, 0, 0.5)));
+  EXPECT_TRUE(f.Offer(Window(0, 10, 0, 0.3)));  // still retained
+  ASSERT_EQ(f.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(f.windows()[0].mi, 0.5);  // best score kept
+  EXPECT_TRUE(f.Offer(Window(0, 10, 0, 0.7)));
+  ASSERT_EQ(f.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(f.windows()[0].mi, 0.7);
 }
 
 TEST(TopKFilterTest, SigmaRisesMonotonically) {

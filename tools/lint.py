@@ -21,6 +21,12 @@ Checks (all on by default; each has a flag to run it alone):
                    a RunContext must either poll ShouldStop() or hand the
                    context to a callee that does. A search loop that ignores
                    its RunContext silently loses deadline/cancel support.
+  --span-hygiene   Trace-span placement: TYCOS_SPAN must not appear inside a
+                   for/while loop body in src/knn/ or src/mi/ — those are
+                   the per-point kNN/estimator kernels that run millions of
+                   times per search, and a span there measures mostly its
+                   own overhead. Open spans at function or phase scope and
+                   let the loop run span-free.
   --tidy           Runs clang-tidy over src/ using build/compile_commands.json
                    when both the binary and the database exist; otherwise
                    prints a notice and succeeds (the CI lint job installs
@@ -217,6 +223,64 @@ def check_run_context(errors):
                 f"cancellation are silently ignored")
 
 
+def check_span_hygiene(errors):
+    """TYCOS_SPAN inside a for/while body in the kNN / estimator kernels."""
+    span_re = re.compile(r"\bTYCOS_SPAN\s*\(")
+    loop_re = re.compile(r"\b(?:for|while)\s*\(")
+    for f in source_files():
+        relf = rel(f)
+        if not relf.startswith(("src/knn/", "src/mi/")):
+            continue
+        code = strip_comments_and_strings(f.read_text(encoding="utf-8"))
+        depth = 0        # brace nesting
+        loop_opens = []  # brace depths whose '{' opened a loop body
+        pending = 0      # loop headers whose body has not started yet
+        lineno = 1
+        i = 0
+        while i < len(code):
+            ch = code[i]
+            if ch == "\n":
+                lineno += 1
+            elif ch == "{":
+                depth += 1
+                if pending > 0:
+                    loop_opens.append(depth)
+                    pending -= 1
+            elif ch == "}":
+                if loop_opens and loop_opens[-1] == depth:
+                    loop_opens.pop()
+                depth -= 1
+            elif ch == ";" and pending > 0:
+                pending -= 1  # braceless single-statement body (or do-while)
+            else:
+                m = loop_re.match(code, i)
+                if m:
+                    # Skip the balanced loop header so for(;;) semicolons and
+                    # nested call parens cannot confuse the body tracking.
+                    i = m.end()
+                    parens = 1
+                    while i < len(code) and parens > 0:
+                        if code[i] == "(":
+                            parens += 1
+                        elif code[i] == ")":
+                            parens -= 1
+                        elif code[i] == "\n":
+                            lineno += 1
+                        i += 1
+                    pending += 1
+                    continue
+                m = span_re.match(code, i)
+                if m:
+                    if loop_opens or pending > 0:
+                        errors.append(
+                            f"{relf}:{lineno}: TYCOS_SPAN inside a loop body "
+                            f"— per-point kernels must stay span-free; open "
+                            f"the span at function scope instead")
+                    i = m.end()
+                    continue
+            i += 1
+
+
 def check_tidy(errors):
     clang_tidy = shutil.which("clang-tidy")
     if not clang_tidy:
@@ -246,6 +310,7 @@ def main():
     parser.add_argument("--banned", action="store_true")
     parser.add_argument("--check-ratchet", action="store_true")
     parser.add_argument("--run-context", action="store_true")
+    parser.add_argument("--span-hygiene", action="store_true")
     parser.add_argument("--tidy", action="store_true")
     args = parser.parse_args()
 
@@ -261,6 +326,8 @@ def main():
         check_ratchet(errors)
     if run_all or "run_context" in selected:
         check_run_context(errors)
+    if run_all or "span_hygiene" in selected:
+        check_span_hygiene(errors)
     if run_all or "tidy" in selected:
         check_tidy(errors)
 
