@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "datagen/energy_sim.h"
+#include "jobs/durable_pairwise.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "search/pairwise.h"
@@ -113,6 +114,44 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   for (const Row& r : rows) all_identical = all_identical && r.identical;
 
+  // Durable-job overhead: the same sweep through ResumePairwiseSearch with a
+  // fresh checkpoint, vs the plain engine at the same thread count. Best of
+  // three reps each so a single scheduler hiccup does not dominate; the
+  // target is < 2% overhead (one small fwrite per pair, no fsync).
+  const int ckpt_threads = 4;
+  const std::string ckpt_path = out_path + ".ckpt";
+  double plain_s = 1e100;
+  double durable_s = 1e100;
+  bool ckpt_identical = true;
+  {
+    TycosParams p = Params();
+    p.num_threads = ckpt_threads;
+    for (int rep = 0; rep < 3; ++rep) {
+      PairwiseResult plain;
+      plain_s = std::min(plain_s, TimeIt([&] {
+        plain = PairwiseSearch(channels, p, TycosVariant::kLMN, 7);
+      }));
+      std::remove(ckpt_path.c_str());
+      jobs::DurableJobOptions dopts;
+      dopts.checkpoint_path = ckpt_path;
+      Result<jobs::DurableOutcome> durable = Status::Internal("unrun");
+      durable_s = std::min(durable_s, TimeIt([&] {
+        durable = jobs::ResumePairwiseSearch(channels, p, TycosVariant::kLMN,
+                                             7, RunContext::None(), dopts);
+      }));
+      std::remove(ckpt_path.c_str());
+      ckpt_identical = ckpt_identical && durable.ok() &&
+                       SameResults(reference, durable.value().result);
+    }
+  }
+  const double ckpt_overhead =
+      plain_s > 0 ? durable_s / plain_s - 1.0 : 0.0;
+  std::printf("\ncheckpointed run (%d threads): plain %.3fs, durable %.3fs, "
+              "overhead %+.2f%%, identical %s\n",
+              ckpt_threads, plain_s, durable_s, ckpt_overhead * 100.0,
+              ckpt_identical ? "yes" : "NO");
+  all_identical = all_identical && ckpt_identical;
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -133,6 +172,14 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"identical_results\": %s,\n",
                all_identical ? "true" : "false");
+  std::fprintf(f, "  \"checkpoint\": {\n");
+  std::fprintf(f, "    \"threads\": %d,\n", ckpt_threads);
+  std::fprintf(f, "    \"plain_ms\": %.1f,\n", plain_s * 1000.0);
+  std::fprintf(f, "    \"durable_ms\": %.1f,\n", durable_s * 1000.0);
+  std::fprintf(f, "    \"checkpoint_overhead\": %.4f,\n", ckpt_overhead);
+  std::fprintf(f, "    \"identical\": %s\n",
+               ckpt_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -12,6 +12,8 @@ const char* StopReasonName(StopReason reason) {
       return "cancelled";
     case StopReason::kBudgetExhausted:
       return "budget_exhausted";
+    case StopReason::kPaused:
+      return "paused";
   }
   return "unknown";
 }

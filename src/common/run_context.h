@@ -24,6 +24,8 @@ enum class StopReason {
   kDeadlineExceeded,  // the RunContext deadline expired
   kCancelled,         // RequestCancel() was called
   kBudgetExhausted,   // the evaluation budget was used up
+  kPaused,            // a durable job reached its per-invocation pair cap;
+                      // state is checkpointed and the run can be resumed
 };
 
 // Human-readable name ("completed", "deadline_exceeded", ...).
@@ -40,7 +42,8 @@ class RunContext {
   RunContext(RunContext&& other) noexcept
       : cancelled_(other.cancelled_.load(std::memory_order_relaxed)),
         deadline_(other.deadline_),
-        evaluation_budget_(other.evaluation_budget_) {}
+        evaluation_budget_(other.evaluation_budget_),
+        parent_(other.parent_) {}
 
   // A shared no-limit context for callers that don't care.
   static const RunContext& None();
@@ -78,14 +81,32 @@ class RunContext {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  // Links this context under `parent`: every ShouldStop() poll also honors
+  // the parent's cancellation and deadline (recursively up the chain), so a
+  // global stop reaches a search that is running under a narrower child
+  // context. The parent's evaluation *budget* is deliberately not
+  // inherited — budgets are counted against the poller's own evaluation
+  // counter and would double-apply across levels. The parent must outlive
+  // this context; the durable-job supervisor uses this to carve a per-pair
+  // watchdog time slice out of the global run deadline.
+  void SetParent(const RunContext* parent) { parent_ = parent; }
+  const RunContext* parent() const { return parent_; }
+
   bool HasLimits() const {
     return deadline_.has_value() || evaluation_budget_ > 0 ||
-           cancel_requested();
+           cancel_requested() || (parent_ != nullptr && parent_->HasLimits());
   }
 
   // nullopt while the run may continue, otherwise the reason to stop.
   // `evaluations_used` is compared against the evaluation budget.
   std::optional<StopReason> ShouldStop(int64_t evaluations_used = 0) const {
+    if (parent_ != nullptr) {
+      // Budget-free poll: the parent's budget applies to searches polling
+      // the parent directly, not to grandchildren with their own counters.
+      if (const std::optional<StopReason> s = parent_->ShouldStop(0)) {
+        if (*s != StopReason::kBudgetExhausted) return s;
+      }
+    }
     if (cancel_requested()) return StopReason::kCancelled;
     if (evaluation_budget_ > 0 && evaluations_used >= evaluation_budget_) {
       return StopReason::kBudgetExhausted;
@@ -102,6 +123,7 @@ class RunContext {
   std::atomic<bool> cancelled_{false};
   std::optional<Clock::time_point> deadline_;
   int64_t evaluation_budget_ = 0;  // 0 = unlimited
+  const RunContext* parent_ = nullptr;
 };
 
 }  // namespace tycos

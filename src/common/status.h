@@ -19,6 +19,11 @@ enum class StatusCode {
   kIoError,
   kOutOfRange,
   kInternal,
+  // Transiently refused or failed work that is safe to retry later: an
+  // admission gate shedding load, a watchdog slice expiring, a flaky
+  // dependency. The supervisor (src/jobs/supervisor.h) classifies this
+  // code — like kIoError — as transient and retries with backoff.
+  kUnavailable,
 };
 
 // Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -46,6 +51,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

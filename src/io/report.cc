@@ -33,6 +33,19 @@ std::string HumaneDuration(double seconds) {
   return buf;
 }
 
+// "completed", or "**partial** — stopped early (deadline_exceeded)". The
+// paused reason gets resume-oriented wording: a paused run is healthy, not
+// truncated.
+std::string RunStatusText(StopReason reason) {
+  if (reason == StopReason::kCompleted) return "completed";
+  if (reason == StopReason::kPaused) {
+    return "**paused** — checkpointed and resumable (" +
+           std::string(StopReasonName(reason)) + ")";
+  }
+  return "**partial** — stopped early (" +
+         std::string(StopReasonName(reason)) + ")";
+}
+
 }  // namespace
 
 std::string RenderReport(const SeriesPair& pair, const TycosParams& params,
@@ -45,6 +58,8 @@ std::string RenderReport(const SeriesPair& pair, const TycosParams& params,
   out << "Pair: **" << (pair.x().name().empty() ? "X" : pair.x().name())
       << "** vs **" << (pair.y().name().empty() ? "Y" : pair.y().name())
       << "** (" << pair.size() << " samples)\n\n";
+
+  out << "Run status: " << RunStatusText(stats.stop_reason) << "\n\n";
 
   out << "## Parameters\n\n"
       << "| parameter | value |\n|---|---|\n"
@@ -118,6 +133,67 @@ Status WriteReport(const std::string& path, const SeriesPair& pair,
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   out << RenderReport(pair, params, windows, stats, options);
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+std::string RenderPairwiseReport(const std::vector<TimeSeries>& channels,
+                                 const TycosParams& params,
+                                 const PairwiseResult& result,
+                                 const ReportOptions& options) {
+  std::ostringstream out;
+  out << "# " << options.title << "\n\n";
+  out << channels.size() << " channels";
+  if (!channels.empty()) out << " (" << channels[0].size() << " samples)";
+  out << ", sigma " << params.sigma << "\n\n";
+
+  out << "Run status: " << RunStatusText(result.stop_reason) << "; "
+      << result.pairs_searched << " pairs searched, " << result.pairs_skipped
+      << " skipped\n\n";
+
+  out << "## Pairs (" << result.entries.size() << ")\n\n";
+  if (result.entries.empty()) {
+    out << "No pairs searched.\n\n";
+  } else {
+    out << "| # | pair | windows | best score | flags |\n"
+        << "|---|---|---|---|---|\n";
+    int row = 1;
+    for (const PairwiseEntry& e : result.entries) {
+      const std::string name_a = channels[static_cast<size_t>(e.a)].name();
+      const std::string name_b = channels[static_cast<size_t>(e.b)].name();
+      out << "| " << row++ << " | "
+          << (name_a.empty() ? "#" + std::to_string(e.a) : name_a) << " vs "
+          << (name_b.empty() ? "#" + std::to_string(e.b) : name_b) << " | "
+          << e.window_count() << " | ";
+      char score[16];
+      std::snprintf(score, sizeof(score), "%.3f", e.best_score);
+      out << score << " | ";
+      // Flags keep degraded answers honest: a pair searched under overload
+      // shedding or cut short is marked in the row that reports it.
+      std::string flags;
+      if (e.partial) flags += "partial";
+      if (e.shed_level > 0) {
+        if (!flags.empty()) flags += ", ";
+        flags += "shed L" + std::to_string(e.shed_level);
+      }
+      out << (flags.empty() ? "-" : flags) << " |\n";
+    }
+    out << "\n";
+  }
+  if (options.include_metrics) {
+    out << "## Metrics\n\n```\n" << obs::Snapshot().ToString() << "```\n";
+  }
+  return out.str();
+}
+
+Status WritePairwiseReport(const std::string& path,
+                           const std::vector<TimeSeries>& channels,
+                           const TycosParams& params,
+                           const PairwiseResult& result,
+                           const ReportOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << RenderPairwiseReport(channels, params, result, options);
   if (!out) return Status::IoError("write to " + path + " failed");
   return Status::Ok();
 }

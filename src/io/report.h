@@ -6,10 +6,12 @@
 #define TYCOS_IO_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/time_series.h"
 #include "core/window_set.h"
+#include "search/pairwise.h"
 #include "search/params.h"
 #include "search/tycos.h"
 
@@ -38,6 +40,23 @@ std::string RenderReport(const SeriesPair& pair, const TycosParams& params,
 Status WriteReport(const std::string& path, const SeriesPair& pair,
                    const TycosParams& params, const WindowSet& windows,
                    const TycosStats& stats, const ReportOptions& options = {});
+
+// Markdown report for a pairwise discovery run: the run status (completed /
+// partial, stop reason, pairs searched and skipped), then one row per pair
+// sorted as in the result, flagging partial and shed-degraded entries so a
+// cut-short or overloaded sweep is never read as a full one. `channels`
+// must be the vector the search ran over (entry indices resolve into it).
+std::string RenderPairwiseReport(const std::vector<TimeSeries>& channels,
+                                 const TycosParams& params,
+                                 const PairwiseResult& result,
+                                 const ReportOptions& options = {});
+
+// RenderPairwiseReport, written to a file.
+Status WritePairwiseReport(const std::string& path,
+                           const std::vector<TimeSeries>& channels,
+                           const TycosParams& params,
+                           const PairwiseResult& result,
+                           const ReportOptions& options = {});
 
 }  // namespace tycos
 

@@ -1,0 +1,73 @@
+#include "jobs/admission.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace tycos {
+namespace jobs {
+
+namespace {
+
+class SystemLoadProbe : public LoadProbe {
+ public:
+  LoadSample Sample() override {
+    LoadSample s;
+    s.rss_bytes = obs::ProcessRssBytes();
+    return s;
+  }
+};
+
+// Level along one axis: 0 below soft, 1 in [soft, mid), 2 in [mid, hard),
+// 3 at or above hard. Disabled bounds (0) never trigger; with only a soft
+// bound the axis degrades but never refuses, with only a hard bound it
+// refuses without a degradation band.
+int AxisLevel(int64_t value, int64_t soft, int64_t hard) {
+  if (hard > 0 && value >= hard) return 3;
+  if (soft > 0 && value >= soft) {
+    if (hard > soft) {
+      const int64_t mid = soft + (hard - soft) / 2;
+      return value >= mid ? 2 : 1;
+    }
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+LoadProbe* LoadProbe::System() {
+  static SystemLoadProbe* probe = new SystemLoadProbe;  // process lifetime
+  return probe;
+}
+
+int ShedLevel(const ShedPolicy& policy, const LoadSample& sample) {
+  const int rss = AxisLevel(sample.rss_bytes, policy.rss_soft_bytes,
+                            policy.rss_hard_bytes);
+  const int queue =
+      AxisLevel(sample.queue_depth, policy.queue_soft, policy.queue_hard);
+  return std::max(rss, queue);
+}
+
+TycosParams DegradeParams(const TycosParams& params, int level) {
+  TycosParams p = params;
+  if (level >= 1) {
+    // Drop the multi-restart fan-in (the single scan is the cheap path)
+    // and stop idle climbs from wandering far shells.
+    p.num_restarts = 0;
+    p.max_neighborhood_level = std::min(p.max_neighborhood_level, 4);
+  }
+  if (level >= 2) {
+    p.max_idle = std::min(p.max_idle, 4);
+    p.history_length = std::min(p.history_length, 3);
+  }
+  return p;
+}
+
+double ShedBudgetScale(int level) {
+  if (level <= 0) return 1.0;
+  return level == 1 ? 0.5 : 0.25;
+}
+
+}  // namespace jobs
+}  // namespace tycos

@@ -1,0 +1,469 @@
+#include "jobs/checkpoint.h"
+
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace tycos {
+namespace jobs {
+
+namespace {
+
+// The header is fixed-size so a loader can validate it before trusting any
+// length field. Values are stored host-endian: checkpoints are a local
+// crash-recovery artifact, not a portable interchange format.
+constexpr char kMagic[8] = {'T', 'Y', 'C', 'O', 'S', 'C', 'K', 'P'};
+constexpr size_t kHeaderSize = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+constexpr size_t kRecordFixedSize = 4 + 4 + 1 + 1 + 2 + 8 + 4;
+constexpr size_t kWindowSize = 8 + 8 + 8 + 8;
+// A record longer than this cannot be legitimate (window counts are bounded
+// by the series length; this guards length-prefix corruption before any
+// allocation happens).
+constexpr uint32_t kMaxRecordPayload = 1u << 28;
+
+uint64_t Fnv1a(const uint8_t* data, size_t n, uint64_t h) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  return Fnv1a(data, n, 14695981039346656037ull);
+}
+
+class ByteBuffer {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU16(uint16_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  // Bit-pattern copy: the round trip reproduces the double exactly,
+  // including -0.0 and every last mantissa bit.
+  void PutDouble(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+  std::vector<uint8_t> bytes_;
+};
+
+// Bounds-checked forward reader over a loaded byte range.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), n_(n) {}
+
+  size_t remaining() const { return n_ - pos_; }
+  size_t pos() const { return pos_; }
+
+  bool GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU16(uint16_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetI64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetDouble(double* v) {
+    uint64_t bits = 0;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  bool GetRaw(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const uint8_t* data_;
+  size_t n_;
+  size_t pos_ = 0;
+};
+
+ByteBuffer SerializeHeader(const CheckpointWriter::Options& options) {
+  ByteBuffer buf;
+  for (char c : kMagic) buf.PutU8(static_cast<uint8_t>(c));
+  buf.PutU32(kCheckpointFormatVersion);
+  buf.PutU32(options.num_channels);
+  buf.PutU64(options.config_hash);
+  buf.PutU64(options.data_fingerprint);
+  buf.PutU64(options.seed);
+  buf.PutI64(options.series_length);
+  buf.PutU64(Fnv1a(buf.data(), buf.size()));
+  return buf;
+}
+
+ByteBuffer SerializeRecordPayload(const CheckpointedPair& pair) {
+  ByteBuffer buf;
+  buf.PutU32(static_cast<uint32_t>(pair.entry.a));
+  buf.PutU32(static_cast<uint32_t>(pair.entry.b));
+  buf.PutU8(pair.entry.partial ? 1 : 0);
+  buf.PutU8(static_cast<uint8_t>(pair.stop_reason));
+  buf.PutU16(static_cast<uint16_t>(pair.entry.shed_level));
+  buf.PutDouble(pair.entry.best_score);
+  const std::vector<Window>& ws = pair.entry.windows.windows();
+  buf.PutU32(static_cast<uint32_t>(ws.size()));
+  // Windows are serialized in the set's own (insertion) order; non-nested
+  // windows re-Insert without reshuffling, so the loaded WindowSet iterates
+  // bit-identically to the one that was saved.
+  for (const Window& w : ws) {
+    buf.PutI64(w.start);
+    buf.PutI64(w.end);
+    buf.PutI64(w.delay);
+    buf.PutDouble(w.mi);
+  }
+  return buf;
+}
+
+Status ParseRecordPayload(const uint8_t* data, size_t n, uint32_t num_channels,
+                          CheckpointedPair* out) {
+  ByteReader in(data, n);
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint8_t partial = 0;
+  uint8_t stop = 0;
+  uint16_t shed = 0;
+  uint32_t window_count = 0;
+  if (!in.GetU32(&a) || !in.GetU32(&b) || !in.GetU8(&partial) ||
+      !in.GetU8(&stop) || !in.GetU16(&shed) ||
+      !in.GetDouble(&out->entry.best_score) || !in.GetU32(&window_count)) {
+    return Status::IoError("checkpoint record payload too short");
+  }
+  if (a >= b || b >= num_channels) {
+    return Status::IoError("checkpoint record has invalid pair (" +
+                           std::to_string(a) + ", " + std::to_string(b) +
+                           ") for " + std::to_string(num_channels) +
+                           " channels");
+  }
+  if (stop > static_cast<uint8_t>(StopReason::kPaused)) {
+    return Status::IoError("checkpoint record has unknown stop reason " +
+                           std::to_string(stop));
+  }
+  if (in.remaining() != window_count * kWindowSize) {
+    return Status::IoError(
+        "checkpoint record length does not match its window count");
+  }
+  out->entry.a = static_cast<int>(a);
+  out->entry.b = static_cast<int>(b);
+  out->entry.partial = partial != 0;
+  out->stop_reason = static_cast<StopReason>(stop);
+  out->entry.shed_level = shed;
+  for (uint32_t i = 0; i < window_count; ++i) {
+    Window w;
+    if (!in.GetI64(&w.start) || !in.GetI64(&w.end) || !in.GetI64(&w.delay) ||
+        !in.GetDouble(&w.mi)) {
+      return Status::IoError("checkpoint record window truncated");
+    }
+    out->entry.windows.Insert(w);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open checkpoint " + path);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[65536];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || read_error) {
+    return Status::IoError("read of checkpoint " + path + " failed");
+  }
+  return bytes;
+}
+
+Status ValidateHeader(ByteReader* in, const std::string& path,
+                      CheckpointData* out) {
+  if (in->remaining() < kHeaderSize) {
+    return Status::IoError("checkpoint " + path + " is truncated: " +
+                           std::to_string(in->remaining()) +
+                           " bytes, header needs " +
+                           std::to_string(kHeaderSize));
+  }
+  uint8_t magic[8];
+  for (uint8_t& m : magic) {
+    if (!in->GetU8(&m)) return Status::IoError("unreadable header");
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("checkpoint " + path +
+                           " has bad magic (not a TYCOS checkpoint)");
+  }
+  uint32_t version = 0;
+  uint64_t header_crc = 0;
+  if (!in->GetU32(&version) || !in->GetU32(&out->num_channels) ||
+      !in->GetU64(&out->config_hash) || !in->GetU64(&out->data_fingerprint) ||
+      !in->GetU64(&out->seed) || !in->GetI64(&out->series_length) ||
+      !in->GetU64(&header_crc)) {
+    return Status::IoError("unreadable header");
+  }
+  if (version != kCheckpointFormatVersion) {
+    return Status::IoError("checkpoint " + path + " has format version " +
+                           std::to_string(version) + ", this build reads " +
+                           std::to_string(kCheckpointFormatVersion));
+  }
+  // Re-serialize what we parsed and compare checksums: one code path
+  // defines the byte layout for both directions.
+  CheckpointWriter::Options opts;
+  opts.num_channels = out->num_channels;
+  opts.config_hash = out->config_hash;
+  opts.data_fingerprint = out->data_fingerprint;
+  opts.seed = out->seed;
+  opts.series_length = out->series_length;
+  const ByteBuffer expect = SerializeHeader(opts);
+  uint64_t expect_crc = 0;
+  std::memcpy(&expect_crc, expect.data() + expect.size() - sizeof(expect_crc),
+              sizeof(expect_crc));
+  if (header_crc != expect_crc) {
+    return Status::IoError("checkpoint " + path +
+                           " header checksum mismatch (corrupt header)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint64_t FingerprintChannels(const std::vector<TimeSeries>& channels) {
+  uint64_t h = 14695981039346656037ull;
+  const uint64_t count = channels.size();
+  h = Fnv1a(reinterpret_cast<const uint8_t*>(&count), sizeof(count), h);
+  for (const TimeSeries& c : channels) {
+    const uint64_t len = static_cast<uint64_t>(c.size());
+    h = Fnv1a(reinterpret_cast<const uint8_t*>(&len), sizeof(len), h);
+    h = Fnv1a(reinterpret_cast<const uint8_t*>(c.name().data()),
+              c.name().size(), h);
+    // One separator byte so ("ab", "") and ("a", "b") cannot collide.
+    const uint8_t sep = 0;
+    h = Fnv1a(&sep, 1, h);
+    if (!c.values().empty()) {
+      h = Fnv1a(reinterpret_cast<const uint8_t*>(c.values().data()),
+                c.values().size() * sizeof(double), h);
+    }
+  }
+  return h;
+}
+
+uint64_t HashSearchConfig(const TycosParams& p, TycosVariant variant,
+                          uint64_t seed) {
+  ByteBuffer buf;
+  buf.PutDouble(p.sigma);
+  buf.PutI64(p.s_min);
+  buf.PutI64(p.s_max);
+  buf.PutI64(p.td_max);
+  buf.PutDouble(p.epsilon_ratio);
+  buf.PutI64(p.delta);
+  buf.PutI64(p.initial_delay_step);
+  buf.PutU32(static_cast<uint32_t>(p.history_length));
+  buf.PutU32(static_cast<uint32_t>(p.max_idle));
+  buf.PutU32(static_cast<uint32_t>(p.max_neighborhood_level));
+  buf.PutU32(static_cast<uint32_t>(p.top_k));
+  buf.PutU32(static_cast<uint32_t>(p.num_restarts));
+  buf.PutU8(p.cache_evaluations ? 1 : 0);
+  buf.PutU32(static_cast<uint32_t>(p.k));
+  buf.PutU8(static_cast<uint8_t>(p.backend));
+  buf.PutDouble(p.tie_jitter);
+  buf.PutI64(p.theiler_window);
+  buf.PutU8(static_cast<uint8_t>(p.normalization));
+  buf.PutDouble(p.small_sample_penalty);
+  buf.PutU8(static_cast<uint8_t>(variant));
+  buf.PutU64(seed);
+  return Fnv1a(buf.data(), buf.size());
+}
+
+Result<CheckpointData> LoadCheckpoint(const std::string& path) {
+  Result<std::vector<uint8_t>> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  ByteReader in(bytes.value().data(), bytes.value().size());
+
+  CheckpointData data;
+  Status st = ValidateHeader(&in, path, &data);
+  if (!st.ok()) return st;
+
+  // Record log. Every complete record must checksum; an incomplete record
+  // at EOF is the torn tail of a crashed append and is dropped.
+  std::vector<bool> seen;
+  while (in.remaining() > 0) {
+    const size_t record_start = in.pos();
+    uint32_t len = 0;
+    if (!in.GetU32(&len) || len > kMaxRecordPayload ||
+        in.remaining() < len + sizeof(uint64_t)) {
+      data.dropped_tail_bytes =
+          static_cast<int64_t>(bytes.value().size() - record_start);
+      break;
+    }
+    const uint8_t* payload = bytes.value().data() + in.pos();
+    uint64_t stored_crc = 0;
+    if (!in.Skip(len) || !in.GetU64(&stored_crc)) {
+      data.dropped_tail_bytes =
+          static_cast<int64_t>(bytes.value().size() - record_start);
+      break;
+    }
+    if (Fnv1a(payload, len) != stored_crc) {
+      if (in.remaining() == 0) {
+        // Checksum failure on the very last record: a partially persisted
+        // append (e.g. power loss without fsync). Tolerated as a torn tail.
+        data.dropped_tail_bytes =
+            static_cast<int64_t>(bytes.value().size() - record_start);
+        break;
+      }
+      return Status::IoError("checkpoint " + path +
+                             " record checksum mismatch at byte " +
+                             std::to_string(record_start) +
+                             " (interior corruption)");
+    }
+    CheckpointedPair pair;
+    st = ParseRecordPayload(payload, len, data.num_channels, &pair);
+    if (!st.ok()) {
+      return Status::IoError("checkpoint " + path + ": " + st.message());
+    }
+    // First record for a pair wins; per-pair determinism makes any
+    // duplicate byte-identical anyway.
+    const size_t key = static_cast<size_t>(pair.entry.a) * data.num_channels +
+                       static_cast<size_t>(pair.entry.b);
+    if (seen.empty()) {
+      seen.assign(static_cast<size_t>(data.num_channels) * data.num_channels,
+                  false);
+    }
+    if (seen[key]) continue;
+    seen[key] = true;
+    data.pairs.push_back(std::move(pair));
+  }
+  return data;
+}
+
+Result<CheckpointWriter> CheckpointWriter::Open(const std::string& path,
+                                                const Options& options) {
+  // Existing file: validate its header against ours, then append.
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    uint8_t header[kHeaderSize];
+    const size_t got = std::fread(header, 1, kHeaderSize, probe);
+    if (std::fclose(probe) != 0) {
+      return Status::IoError("close of checkpoint " + path + " failed");
+    }
+    if (got < kHeaderSize) {
+      return Status::IoError("checkpoint " + path +
+                             " is truncated mid-header; delete it to restart");
+    }
+    ByteReader in(header, kHeaderSize);
+    CheckpointData existing;
+    const Status st = ValidateHeader(&in, path, &existing);
+    if (!st.ok()) return st;
+    if (existing.config_hash != options.config_hash ||
+        existing.data_fingerprint != options.data_fingerprint ||
+        existing.seed != options.seed) {
+      return Status::InvalidArgument(
+          "checkpoint " + path +
+          " was written by a different run (params, data, or seed changed); "
+          "delete it to start over");
+    }
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr) {
+      return Status::IoError("cannot open checkpoint " + path +
+                             " for appending");
+    }
+    return CheckpointWriter(f, options);
+  }
+
+  // Fresh file: write the header to a temp file and atomically rename it
+  // into place, so a crash mid-create never leaves a half-written header
+  // under the real name.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create checkpoint temp file " + tmp);
+  }
+  const ByteBuffer header = SerializeHeader(options);
+  const bool wrote =
+      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+      std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  const bool synced = !options.fsync_each_record || fsync(fileno(f)) == 0;
+#else
+  const bool synced = true;
+#endif
+  if (std::fclose(f) != 0 || !wrote || !synced) {
+    return Status::IoError("write of checkpoint header to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("atomic rename " + tmp + " -> " + path + " failed");
+  }
+  std::FILE* out = std::fopen(path.c_str(), "ab");
+  if (out == nullptr) {
+    return Status::IoError("cannot reopen checkpoint " + path +
+                           " for appending");
+  }
+  return CheckpointWriter(out, options);
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
+    : file_(other.file_),
+      options_(other.options_),
+      records_written_(other.records_written_),
+      bytes_written_(other.bytes_written_) {
+  other.file_ = nullptr;
+}
+
+CheckpointWriter::~CheckpointWriter() { (void)Close(); }
+
+Status CheckpointWriter::Append(const CheckpointedPair& pair) {
+  if (file_ == nullptr) {
+    return Status::Internal("checkpoint writer is closed");
+  }
+  const ByteBuffer payload = SerializeRecordPayload(pair);
+  // Assemble len | payload | crc in one contiguous buffer: one write, one
+  // flush, so the kernel sees whole records whenever it can and the
+  // torn-tail window stays minimal.
+  ByteBuffer wire;
+  wire.PutU32(static_cast<uint32_t>(payload.size()));
+  for (size_t i = 0; i < payload.size(); ++i) wire.PutU8(payload.data()[i]);
+  wire.PutU64(Fnv1a(payload.data(), payload.size()));
+  if (std::fwrite(wire.data(), 1, wire.size(), file_) != wire.size()) {
+    return Status::IoError("checkpoint record write failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("checkpoint record flush failed");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (options_.fsync_each_record && fsync(fileno(file_)) != 0) {
+    return Status::IoError("checkpoint record fsync failed");
+  }
+#endif
+  ++records_written_;
+  bytes_written_ += static_cast<int64_t>(wire.size());
+  return Status::Ok();
+}
+
+Status CheckpointWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  std::FILE* f = file_;
+  file_ = nullptr;
+  if (std::fclose(f) != 0) {
+    return Status::IoError("checkpoint close failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace jobs
+}  // namespace tycos

@@ -1,0 +1,134 @@
+// Crash-safe on-disk checkpoints for durable pairwise search jobs.
+//
+// A checkpoint is a binary file: a fixed header (magic, format version,
+// config hash, data fingerprint, seed) created atomically via
+// write-temp + rename, followed by an append-only log of per-pair records,
+// each length-prefixed and FNV-checksummed. The format is designed around
+// one failure model — the process dies at an arbitrary instant (SIGKILL,
+// OOM-kill, power loss with fsync enabled) — and one recovery contract:
+//
+//   * a torn *trailing* record (the append that was in flight when the
+//     process died) is detected by its length prefix running past EOF or
+//     its checksum failing, and is silently dropped: the pair simply reruns
+//     on resume;
+//   * anything else that fails validation — bad magic, unknown version, a
+//     corrupt header, a checksum mismatch on an *interior* record — is real
+//     corruption and rejects the whole file with IoError, never a partial
+//     load. A checkpoint is trusted entirely or not at all.
+//
+// Doubles are stored as raw IEEE-754 bit patterns, so a resumed run
+// reconstructs scores bit-identically. All I/O goes through Result<> —
+// tools/lint.py bans unchecked file operations in src/jobs/.
+
+#ifndef TYCOS_JOBS_CHECKPOINT_H_
+#define TYCOS_JOBS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/time_series.h"
+#include "search/pairwise.h"
+#include "search/params.h"
+#include "search/tycos.h"
+
+namespace tycos {
+namespace jobs {
+
+// Bumped whenever the on-disk layout changes; a loader never guesses at an
+// unknown version.
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+// One checkpointed pair: the finished entry (including its shed level) and
+// how its search ended.
+struct CheckpointedPair {
+  PairwiseEntry entry;
+  StopReason stop_reason = StopReason::kCompleted;
+};
+
+// A successfully loaded checkpoint.
+struct CheckpointData {
+  uint64_t config_hash = 0;        // HashSearchConfig of the writing run
+  uint64_t data_fingerprint = 0;   // FingerprintChannels of the writing run
+  uint64_t seed = 0;
+  uint32_t num_channels = 0;
+  int64_t series_length = 0;
+  std::vector<CheckpointedPair> pairs;
+  // Bytes of torn trailing record dropped during the load (0 on a clean
+  // file) — evidence the writing process died mid-append.
+  int64_t dropped_tail_bytes = 0;
+};
+
+// Order-independent fingerprint of the input data: channel count, length,
+// names, and every sample's bit pattern. Two channel sets fingerprint
+// equal iff a search over them is guaranteed to see identical inputs.
+uint64_t FingerprintChannels(const std::vector<TimeSeries>& channels);
+
+// Hash of every search-result-affecting knob of (params, variant, seed).
+// num_threads is deliberately excluded: results are thread-count invariant,
+// so a checkpoint written at 8 threads resumes fine at 1.
+uint64_t HashSearchConfig(const TycosParams& params, TycosVariant variant,
+                          uint64_t seed);
+
+// Loads and fully validates `path`. See the file comment for the
+// tolerate-vs-reject policy.
+Result<CheckpointData> LoadCheckpoint(const std::string& path);
+
+// Appends pair records to a checkpoint file, creating it (atomically) when
+// absent and validating the header against the caller's config when
+// present. Records are flushed to the OS after every Append, so a SIGKILL
+// loses at most the record being written; set `fsync_each_record` to also
+// survive power loss at a heavy I/O cost.
+class CheckpointWriter {
+ public:
+  struct Options {
+    uint64_t config_hash = 0;
+    uint64_t data_fingerprint = 0;
+    uint64_t seed = 0;
+    uint32_t num_channels = 0;
+    int64_t series_length = 0;
+    bool fsync_each_record = false;
+  };
+
+  // Opens `path` for appending. When the file exists its header must match
+  // `options` (config hash, fingerprint, seed) or the open fails with
+  // InvalidArgument — a checkpoint never silently absorbs records from a
+  // different run.
+  static Result<CheckpointWriter> Open(const std::string& path,
+                                       const Options& options);
+
+  CheckpointWriter(CheckpointWriter&& other) noexcept;
+  CheckpointWriter& operator=(CheckpointWriter&&) = delete;
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+  ~CheckpointWriter();
+
+  // Serializes one finished pair and flushes it. Thread-compatible, not
+  // thread-safe: callers serialize Appends (the durable runner holds a
+  // mutex across this call).
+  Status Append(const CheckpointedPair& pair);
+
+  // Flushes and closes the underlying file; further Appends fail. Called
+  // by the destructor when omitted (destructor swallows the status).
+  Status Close();
+
+  int64_t records_written() const { return records_written_; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  CheckpointWriter(std::FILE* file, const Options& options)
+      : file_(file), options_(options) {}
+
+  std::FILE* file_ = nullptr;
+  Options options_;
+  int64_t records_written_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+}  // namespace jobs
+}  // namespace tycos
+
+#endif  // TYCOS_JOBS_CHECKPOINT_H_

@@ -1,0 +1,351 @@
+#include "jobs/durable_pairwise.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "jobs/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tycos {
+namespace jobs {
+
+namespace {
+
+// One unit of not-yet-checkpointed work. `global_index` is the pair's
+// position in the full (a, b) enumeration — stable across resumes, so the
+// fault schedule and backoff jitter see the same stream no matter how many
+// invocations it takes to finish the job.
+struct TodoPair {
+  int a = 0;
+  int b = 0;
+  int64_t global_index = 0;
+};
+
+// Per-pair scratch written only by the executor that claimed the pair and
+// read only after the join (the ThreadPool prefix-claim contract).
+struct PairSlot {
+  PairwiseEntry entry;
+  StopReason finished_reason = StopReason::kCompleted;
+  bool include = false;   // entry belongs in the result
+  bool finished = false;  // deterministic outcome, safe to checkpoint
+  bool refused = false;   // shed at level 3
+  bool failed = false;
+  bool degraded = false;  // ran at shed level 1 or 2
+  Status fail_status = Status::Ok();
+  int attempts = 0;
+  int64_t retries = 0;
+  int64_t watchdog_timeouts = 0;
+  // Set when the global context fired while this pair was in flight; the
+  // best-so-far partial entry (if any) rides along in `entry`/`include`.
+  std::optional<StopReason> global_stop;
+};
+
+// Decrements the in-flight gauge on every exit path of the pair body.
+class InFlightGuard {
+ public:
+  explicit InFlightGuard(std::atomic<int64_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InFlightGuard() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::atomic<int64_t>* counter_;
+};
+
+}  // namespace
+
+Result<DurableOutcome> ResumePairwiseSearch(
+    const std::vector<TimeSeries>& channels, const TycosParams& params,
+    TycosVariant variant, uint64_t seed, const RunContext& ctx,
+    const DurableJobOptions& options) {
+  TYCOS_SPAN("durable_pairwise");
+  if (options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "DurableJobOptions.checkpoint_path must be set: a durable job "
+        "without a checkpoint cannot resume");
+  }
+  Status st = ValidatePairwiseChannels(channels);
+  if (!st.ok()) return st;
+  st = params.Validate(channels[0].size());
+  if (!st.ok()) return st;
+
+  const uint64_t config_hash = HashSearchConfig(params, variant, seed);
+  const uint64_t fingerprint = FingerprintChannels(channels);
+  const int n = static_cast<int>(channels.size());
+  const int64_t total_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+
+  DurableOutcome out;
+  DurableJobStats& stats = out.stats;
+  stats.pairs_total = total_pairs;
+
+  // --- Load the checkpoint and partition finished vs. todo ---------------
+  std::vector<char> done(static_cast<size_t>(total_pairs), 0);
+  std::vector<PairwiseEntry> entries;
+  Result<CheckpointData> loaded = LoadCheckpoint(options.checkpoint_path);
+  if (loaded.ok()) {
+    const CheckpointData& ckpt = loaded.value();
+    if (ckpt.config_hash != config_hash ||
+        ckpt.data_fingerprint != fingerprint || ckpt.seed != seed) {
+      return Status::InvalidArgument(
+          "checkpoint '" + options.checkpoint_path +
+          "' was written by a different run (params, data, or seed "
+          "changed); delete it to start over");
+    }
+    entries.reserve(ckpt.pairs.size());
+    for (const CheckpointedPair& cp : ckpt.pairs) {
+      // Pair index in the (a, b) enumeration: pairs with first index < a,
+      // then the offset within a's row.
+      const int64_t row_start =
+          static_cast<int64_t>(cp.entry.a) * (2 * n - cp.entry.a - 1) / 2;
+      const int64_t idx = row_start + (cp.entry.b - cp.entry.a - 1);
+      done[static_cast<size_t>(idx)] = 1;
+      entries.push_back(cp.entry);
+    }
+    stats.pairs_resumed = static_cast<int64_t>(entries.size());
+  } else if (loaded.status().code() != StatusCode::kNotFound) {
+    return loaded.status();  // corrupt: never silently restart over it
+  }
+
+  std::vector<TodoPair> todo;
+  todo.reserve(static_cast<size_t>(total_pairs) - entries.size());
+  {
+    int64_t idx = 0;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b, ++idx) {
+        if (!done[static_cast<size_t>(idx)]) todo.push_back({a, b, idx});
+      }
+    }
+  }
+
+  // Voluntary pause: only take on the first max_pairs_this_run units.
+  bool paused = false;
+  if (options.max_pairs_this_run > 0 &&
+      static_cast<int64_t>(todo.size()) > options.max_pairs_this_run) {
+    todo.resize(static_cast<size_t>(options.max_pairs_this_run));
+    paused = true;
+  }
+
+  static obs::Counter* resumed_counter = obs::GetCounter("jobs.pairs_resumed");
+  static obs::Counter* run_counter = obs::GetCounter("jobs.pairs_run");
+  static obs::Counter* shed_counter = obs::GetCounter("jobs.pairs_shed");
+  static obs::Counter* watchdog_counter =
+      obs::GetCounter("jobs.watchdog_timeouts");
+  static obs::Counter* ckpt_records_counter =
+      obs::GetCounter("jobs.checkpoint_records");
+  static obs::Counter* ckpt_bytes_counter =
+      obs::GetCounter("jobs.checkpoint_bytes");
+  static obs::Gauge* rss_gauge = obs::GetGauge("process.rss_bytes");
+  resumed_counter->Add(stats.pairs_resumed);
+
+  // --- Run the remaining pairs under supervision --------------------------
+  std::optional<ThreadPool::ForStatus> fs;
+  std::vector<PairSlot> slots(todo.size());
+  std::optional<CheckpointWriter> writer;
+  std::mutex ckpt_mu;  // serializes Append and the error latch below
+  bool ckpt_ok = true;
+
+  if (!todo.empty()) {
+    CheckpointWriter::Options wopts;
+    wopts.config_hash = config_hash;
+    wopts.data_fingerprint = fingerprint;
+    wopts.seed = seed;
+    wopts.num_channels = static_cast<uint32_t>(n);
+    wopts.series_length = channels[0].size();
+    wopts.fsync_each_record = options.fsync_each_record;
+    Result<CheckpointWriter> opened =
+        CheckpointWriter::Open(options.checkpoint_path, wopts);
+    if (!opened.ok()) return opened.status();
+    writer.emplace(std::move(opened.value()));
+
+    LoadProbe* probe =
+        options.probe != nullptr ? options.probe : LoadProbe::System();
+    BackoffSleeper* sleeper = options.sleeper != nullptr
+                                  ? options.sleeper
+                                  : BackoffSleeper::Default();
+
+    // Inner searches stay sequential, exactly like PairwiseSearch: the pair
+    // level owns the parallelism, and thread count must not affect results.
+    TycosParams inner = params;
+    inner.num_threads = 1;
+
+    std::atomic<int64_t> in_flight{0};
+
+    const int threads = static_cast<int>(
+        std::min<int64_t>(ThreadPool::ResolveThreadCount(params.num_threads),
+                          static_cast<int64_t>(todo.size())));
+    ThreadPool pool(threads - 1);
+    fs = pool.ParallelFor(
+        static_cast<int64_t>(todo.size()), ctx,
+        [&](int64_t i) -> std::optional<StopReason> {
+          PairSlot& slot = slots[static_cast<size_t>(i)];
+          const TodoPair& td = todo[static_cast<size_t>(i)];
+          InFlightGuard guard(&in_flight);
+
+          // Admission: probe load (overlaying our own in-flight count on
+          // the probe's queue depth) and pick this pair's shed level.
+          LoadSample sample = probe->Sample();
+          sample.queue_depth += in_flight.load(std::memory_order_relaxed);
+          rss_gauge->Set(sample.rss_bytes);
+          const int level =
+              options.shed.enabled() ? ShedLevel(options.shed, sample) : 0;
+          if (level >= 3) {
+            // Refused, not failed: the pair stays un-checkpointed and a
+            // later, less-loaded resume picks it up.
+            slot.refused = true;
+            shed_counter->Add(1);
+            return std::nullopt;
+          }
+          slot.degraded = level > 0;
+          const TycosParams run_params = DegradeParams(inner, level);
+
+          const auto attempt = [&](int attempt_no) -> Status {
+            slot.attempts = attempt_no;
+            if (options.faults != nullptr) {
+              const FaultClass fc =
+                  options.faults->At(td.global_index, attempt_no);
+              if (fc != FaultClass::kNone) {
+                return PairFaultSchedule::MakeStatus(fc, td.global_index,
+                                                     attempt_no);
+              }
+            }
+            // Watchdog slice + scaled budget, chained under the global
+            // context so a global stop still reaches the inner search.
+            RunContext child;
+            child.SetParent(&ctx);
+            if (options.pair_time_slice_s > 0) {
+              child.SetDeadlineAfter(options.pair_time_slice_s);
+            }
+            if (options.pair_evaluation_budget > 0) {
+              const double scaled = static_cast<double>(
+                                        options.pair_evaluation_budget) *
+                                    ShedBudgetScale(level);
+              child.SetEvaluationBudget(
+                  std::max<int64_t>(1, static_cast<int64_t>(scaled)));
+            }
+            Result<PairOutcome> outcome = SearchPair(
+                channels, td.a, td.b, run_params, variant, seed, child);
+            if (!outcome.ok()) return outcome.status();
+            const StopReason reason = outcome.value().stop_reason;
+            if (reason == StopReason::kCompleted ||
+                reason == StopReason::kBudgetExhausted) {
+              // Deterministic outcome: final, and safe to checkpoint.
+              slot.entry = std::move(outcome.value().entry);
+              slot.entry.shed_level = level;
+              slot.finished_reason = reason;
+              slot.include = true;
+              slot.finished = true;
+              return Status::Ok();
+            }
+            // The search was cut by a deadline or cancellation. If the
+            // global context fired, the sweep is ending: keep the partial
+            // entry (never checkpointed — it is timing-dependent) and stop.
+            if (const std::optional<StopReason> g = ctx.ShouldStop(0)) {
+              slot.entry = std::move(outcome.value().entry);
+              slot.entry.shed_level = level;
+              slot.include = true;
+              slot.global_stop = *g;
+              return Status::Ok();
+            }
+            // Otherwise our own watchdog slice expired: transiently retry
+            // (a fresh attempt may land on a quieter machine moment).
+            ++slot.watchdog_timeouts;
+            watchdog_counter->Add(1);
+            return Status::Unavailable(
+                "pair (" + std::to_string(td.a) + ", " +
+                std::to_string(td.b) + ") exceeded its " +
+                std::to_string(options.pair_time_slice_s) +
+                "s watchdog time slice");
+          };
+
+          const SuperviseResult sres = Supervise(
+              options.retry, seed, td.global_index, ctx, sleeper, attempt);
+          slot.attempts = sres.attempts;
+          slot.retries = sres.transient_failures;
+          run_counter->Add(1);
+          if (sres.stopped.has_value()) {
+            // Global stop between attempts or during backoff; no entry.
+            slot.global_stop = sres.stopped;
+            return sres.stopped;
+          }
+          if (!sres.final_status.ok()) {
+            // Permanent or retry-exhausted: isolate to this pair, keep
+            // sweeping. It stays un-checkpointed, so a resume retries it.
+            slot.failed = true;
+            slot.fail_status = sres.final_status;
+            return std::nullopt;
+          }
+          if (slot.global_stop.has_value()) return slot.global_stop;
+          if (slot.finished) {
+            std::lock_guard<std::mutex> lock(ckpt_mu);
+            if (ckpt_ok) {
+              const Status append_st =
+                  writer->Append({slot.entry, slot.finished_reason});
+              if (!append_st.ok()) {
+                // Keep computing, but stop touching the file: durability
+                // degrades (this and later pairs rerun on resume) rather
+                // than the whole run dying on a full disk.
+                ckpt_ok = false;
+                stats.checkpoint_error = append_st;
+              }
+            }
+          }
+          return std::nullopt;
+        });
+
+    const Status close_st = writer->Close();
+    if (!close_st.ok() && stats.checkpoint_error.ok()) {
+      stats.checkpoint_error = close_st;
+    }
+    stats.checkpoint_records_written = writer->records_written();
+    stats.checkpoint_bytes_written = writer->bytes_written();
+    ckpt_records_counter->Add(writer->records_written());
+    ckpt_bytes_counter->Add(writer->bytes_written());
+  }
+
+  // --- Merge, in pair order, then sort ------------------------------------
+  const int64_t claimed = fs.has_value() ? fs->claimed : 0;
+  for (int64_t i = 0; i < claimed; ++i) {
+    PairSlot& slot = slots[static_cast<size_t>(i)];
+    const TodoPair& td = todo[static_cast<size_t>(i)];
+    if (slot.refused) {
+      ++stats.pairs_refused;
+      continue;
+    }
+    ++stats.pairs_run;
+    if (slot.degraded) ++stats.pairs_degraded;
+    stats.retries += slot.retries;
+    stats.watchdog_timeouts += slot.watchdog_timeouts;
+    if (slot.failed) {
+      ++stats.pairs_failed;
+      stats.failures.push_back(
+          {td.a, td.b, slot.fail_status, slot.attempts});
+    }
+    if (slot.include) entries.push_back(std::move(slot.entry));
+  }
+
+  PairwiseResult& result = out.result;
+  result.entries = std::move(entries);
+  SortPairwiseEntries(&result.entries);
+  result.pairs_searched = static_cast<int64_t>(result.entries.size());
+  result.pairs_skipped = total_pairs - result.pairs_searched;
+  if (fs.has_value() && fs->stop.has_value()) {
+    result.stop_reason = *fs->stop;
+  } else if (paused) {
+    result.stop_reason = StopReason::kPaused;
+  } else {
+    result.stop_reason = StopReason::kCompleted;
+  }
+  result.partial = result.stop_reason != StopReason::kCompleted ||
+                   result.pairs_skipped > 0 || stats.pairs_failed > 0;
+  return out;
+}
+
+}  // namespace jobs
+}  // namespace tycos

@@ -1,0 +1,131 @@
+// Durable pairwise search: PairwiseSearch wrapped in the checkpoint,
+// supervision, and admission layers so a multi-million-pair discovery run
+// survives crashes, transient faults, and overload.
+//
+//   * Checkpointing — every finished pair is appended to a crash-safe
+//     checkpoint (checkpoint.h); ResumePairwiseSearch skips pairs the
+//     checkpoint already holds. Because each pair's search depends only on
+//     its own derived seed (PairwiseSeed), a resumed run's final result is
+//     bit-identical to an uninterrupted one, at any interrupt point and
+//     thread count.
+//   * Supervision — each pair runs under retry-with-backoff (supervisor.h).
+//     Transient failures heal within the retry bound; permanent failures
+//     are isolated to their pair (recorded, excluded from the result) and
+//     the run continues. A watchdog time slice, carved from the global
+//     RunContext deadline via parent chaining, stops one pathological pair
+//     from starving the rest.
+//   * Shedding — an admission gate (admission.h) degrades params under
+//     memory/queue pressure before refusing work; the level is recorded in
+//     each entry and checkpoint record.
+//
+// Only deterministic stops are checkpointed: a pair cut short by a
+// deadline or cancellation reruns on resume, while a pair that exhausted
+// its (deterministic) evaluation budget is final and persists.
+
+#ifndef TYCOS_JOBS_DURABLE_PAIRWISE_H_
+#define TYCOS_JOBS_DURABLE_PAIRWISE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/time_series.h"
+#include "jobs/admission.h"
+#include "jobs/supervisor.h"
+#include "search/fault_injector.h"
+#include "search/pairwise.h"
+#include "search/params.h"
+#include "search/tycos.h"
+
+namespace tycos {
+namespace jobs {
+
+struct DurableJobOptions {
+  // Where the checkpoint lives. Created when absent; validated (config
+  // hash, data fingerprint, seed) and appended to when present. Required.
+  std::string checkpoint_path;
+
+  // fsync after every record: survives power loss, costs a disk round trip
+  // per pair. Off by default — plain process death (SIGKILL, OOM) never
+  // loses flushed records.
+  bool fsync_each_record = false;
+
+  // Per-pair retry/backoff policy.
+  RetryPolicy retry;
+
+  // Watchdog: each attempt's deadline, seconds (0 = none). The slice is a
+  // child of the global RunContext, so the global deadline still wins. A
+  // pair whose every attempt exceeds its slice is isolated with its
+  // best-so-far partial entry rather than starving the run.
+  double pair_time_slice_s = 0.0;
+
+  // Per-pair evaluation budget (0 = none); scaled down by the shed ladder.
+  int64_t pair_evaluation_budget = 0;
+
+  // Voluntary pause: stop after this many newly searched pairs (0 =
+  // unlimited), reporting StopReason::kPaused. Everything searched so far
+  // is checkpointed; calling again continues. This is how an operator
+  // timeslices a big job across maintenance windows.
+  int64_t max_pairs_this_run = 0;
+
+  // Overload shedding thresholds; disabled (never sheds) by default.
+  ShedPolicy shed;
+
+  // Injection points, all optional. `probe`/`sleeper` default to the real
+  // system probe and sleeper; `faults` (tests only) makes scheduled pair
+  // attempts fail instead of running the search.
+  LoadProbe* probe = nullptr;
+  BackoffSleeper* sleeper = nullptr;
+  const PairFaultSchedule* faults = nullptr;
+};
+
+// A pair that ended in a permanent (or retry-exhausted) failure, isolated
+// from the rest of the run.
+struct PairFailure {
+  int a = 0;
+  int b = 0;
+  Status status = Status::Ok();
+  int attempts = 0;
+};
+
+struct DurableJobStats {
+  int64_t pairs_total = 0;      // all unordered pairs of the input
+  int64_t pairs_resumed = 0;    // taken finished from the checkpoint
+  int64_t pairs_run = 0;        // searched by this invocation
+  int64_t pairs_failed = 0;     // isolated failures (see `failures`)
+  int64_t pairs_refused = 0;    // shed at level 3 (left for a later resume)
+  int64_t pairs_degraded = 0;   // run at shed level 1 or 2
+  int64_t retries = 0;          // transient-failure retries across pairs
+  int64_t watchdog_timeouts = 0;  // attempts cut by the per-pair slice
+  int64_t checkpoint_records_written = 0;
+  int64_t checkpoint_bytes_written = 0;
+  // First checkpoint-append failure, if any: the run kept computing but
+  // durability degraded from that point on (later pairs rerun on resume).
+  Status checkpoint_error = Status::Ok();
+  std::vector<PairFailure> failures;  // in pair order
+};
+
+struct DurableOutcome {
+  // Same shape and ordering as PairwiseSearch's result. After a run with
+  // no failures/refusals completed every pair, this is bit-identical to
+  // the uninterrupted PairwiseSearch result. stop_reason kPaused means
+  // "checkpointed and resumable", with pairs_skipped counting what's left.
+  PairwiseResult result;
+  DurableJobStats stats;
+};
+
+// Runs (or resumes) a durable pairwise search. Validates input like
+// PairwiseSearch; rejects a checkpoint written by a different
+// (params, variant, seed) or different data with InvalidArgument, and a
+// corrupt checkpoint with IoError. See the file comment for semantics.
+Result<DurableOutcome> ResumePairwiseSearch(
+    const std::vector<TimeSeries>& channels, const TycosParams& params,
+    TycosVariant variant, uint64_t seed, const RunContext& ctx,
+    const DurableJobOptions& options);
+
+}  // namespace jobs
+}  // namespace tycos
+
+#endif  // TYCOS_JOBS_DURABLE_PAIRWISE_H_

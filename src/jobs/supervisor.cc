@@ -1,0 +1,131 @@
+#include "jobs/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace tycos {
+namespace jobs {
+
+const char* ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kTransient:
+      return "transient";
+    case ErrorClass::kPermanent:
+      return "permanent";
+  }
+  return "unknown";
+}
+
+ErrorClass ClassifyStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kIoError:
+      return ErrorClass::kTransient;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInternal:
+      return ErrorClass::kPermanent;
+  }
+  return ErrorClass::kPermanent;
+}
+
+double BackoffSeconds(const RetryPolicy& policy, uint64_t seed, int64_t unit,
+                      int attempt) {
+  double backoff = policy.initial_backoff_s;
+  for (int i = 1; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+  backoff = std::min(backoff, policy.max_backoff_s);
+  if (policy.jitter_ratio > 0.0) {
+    // Deterministic jitter in [1 - r, 1 + r): a SplitMix64 stream keyed on
+    // (unit, attempt), never wall clock — reproducible and thread-safe.
+    const uint64_t stream = static_cast<uint64_t>(unit) * 1000003u +
+                            static_cast<uint64_t>(attempt);
+    const uint64_t h = DeriveStreamSeed(seed, stream);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    backoff *= 1.0 + policy.jitter_ratio * (2.0 * u - 1.0);
+  }
+  return backoff;
+}
+
+namespace {
+
+// Real sleeper: waits on a private condition variable in short slices so a
+// RunContext stop is honored within one slice. A cv wait (not a timed
+// sleep) keeps the wait interruptible and plays by the repo's no-blind-
+// sleep rule.
+class RealSleeper : public BackoffSleeper {
+ public:
+  std::optional<StopReason> Sleep(double seconds,
+                                  const RunContext& ctx) override {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    std::unique_lock<std::mutex> lock(mu_);
+    while (Clock::now() < until) {
+      if (const std::optional<StopReason> stop = ctx.ShouldStop()) {
+        return stop;
+      }
+      const Clock::time_point slice =
+          std::min(until, Clock::now() + std::chrono::milliseconds(10));
+      cv_.wait_until(lock, slice);
+    }
+    return ctx.ShouldStop();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace
+
+BackoffSleeper* BackoffSleeper::Default() {
+  static RealSleeper* sleeper = new RealSleeper;  // leaked: process lifetime
+  return sleeper;
+}
+
+SuperviseResult Supervise(const RetryPolicy& policy, uint64_t seed,
+                          int64_t unit, const RunContext& ctx,
+                          BackoffSleeper* sleeper,
+                          const std::function<Status(int)>& attempt) {
+  static obs::Counter* retries = obs::GetCounter("jobs.retries");
+  static obs::Counter* transient = obs::GetCounter("jobs.transient_failures");
+  static obs::Counter* permanent = obs::GetCounter("jobs.permanent_failures");
+
+  SuperviseResult result;
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  for (int n = 1; n <= max_attempts; ++n) {
+    if (const std::optional<StopReason> stop = ctx.ShouldStop()) {
+      result.stopped = stop;
+      return result;
+    }
+    ++result.attempts;
+    result.final_status = attempt(n);
+    if (result.final_status.ok()) return result;
+    if (ClassifyStatus(result.final_status) == ErrorClass::kPermanent) {
+      permanent->Add(1);
+      return result;
+    }
+    transient->Add(1);
+    ++result.transient_failures;
+    if (n == max_attempts) return result;  // retry budget exhausted
+    retries->Add(1);
+    const double backoff = BackoffSeconds(policy, seed, unit, n);
+    result.backoff_total_s += backoff;
+    if (const std::optional<StopReason> stop = sleeper->Sleep(backoff, ctx)) {
+      result.stopped = stop;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace jobs
+}  // namespace tycos

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 namespace tycos {
 namespace obs {
@@ -180,6 +185,24 @@ void Registry::ResetAllForTest() {
   for (const std::unique_ptr<Counter>& c : counters_) c->Reset();
   for (const std::unique_ptr<Gauge>& g : gauges_) g->Reset();
   for (const std::unique_ptr<Histogram>& h : histograms_) h->Reset();
+}
+
+int64_t ProcessRssBytes() {
+#if defined(__linux__)
+  // /proc/self/statm: "size resident shared ..." in pages. fscanf of two
+  // integers is cheap enough to call per admission decision.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size_pages = 0;
+  long long resident_pages = 0;
+  const int fields = std::fscanf(f, "%lld %lld", &size_pages, &resident_pages);
+  if (std::fclose(f) != 0 || fields != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<int64_t>(resident_pages) *
+         static_cast<int64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
 }
 
 }  // namespace obs

@@ -200,6 +200,12 @@ class Registry {
   std::vector<std::unique_ptr<Histogram>> histograms_;
 };
 
+// Process self-observation: the current resident set size in bytes, read
+// from /proc/self/statm (Linux). Returns 0 when the platform offers no
+// cheap probe — callers must treat 0 as "unknown", never "no memory".
+// Feeds the jobs-layer admission gate and the process.rss_bytes gauge.
+int64_t ProcessRssBytes();
+
 // Convenience wrappers for call sites.
 inline Counter* GetCounter(const std::string& name) {
   return Registry::Instance().GetCounter(name);

@@ -10,9 +10,7 @@
 
 namespace tycos {
 
-namespace {
-
-Status ValidateChannels(const std::vector<TimeSeries>& channels) {
+Status ValidatePairwiseChannels(const std::vector<TimeSeries>& channels) {
   if (channels.size() < 2) {
     return Status::InvalidArgument(
         "pairwise search needs at least 2 channels, got " +
@@ -31,13 +29,11 @@ Status ValidateChannels(const std::vector<TimeSeries>& channels) {
   return Status::Ok();
 }
 
-// The per-pair seed; kept stable across releases so stored results stay
-// reproducible.
-uint64_t PairSeed(uint64_t seed, int a, int b) {
+uint64_t PairwiseSeed(uint64_t seed, int a, int b) {
   return seed + static_cast<uint64_t>(a) * 1000003u + static_cast<uint64_t>(b);
 }
 
-void SortEntries(std::vector<PairwiseEntry>* entries) {
+void SortPairwiseEntries(std::vector<PairwiseEntry>* entries) {
   std::sort(entries->begin(), entries->end(),
             [](const PairwiseEntry& x, const PairwiseEntry& y) {
               if (x.best_score != y.best_score) {
@@ -51,7 +47,32 @@ void SortEntries(std::vector<PairwiseEntry>* entries) {
             });
 }
 
-}  // namespace
+Result<PairOutcome> SearchPair(const std::vector<TimeSeries>& channels, int a,
+                               int b, const TycosParams& params,
+                               TycosVariant variant, uint64_t seed,
+                               const RunContext& ctx) {
+  TYCOS_SPAN("pairwise_pair");
+  static obs::Counter* pairs_searched =
+      obs::GetCounter("pairwise.pairs_searched");
+  pairs_searched->Add(1);
+  PairOutcome out;
+  out.entry.a = a;
+  out.entry.b = b;
+  const SeriesPair pair(channels[static_cast<size_t>(a)],
+                        channels[static_cast<size_t>(b)]);
+  Result<std::unique_ptr<Tycos>> search =
+      Tycos::Create(pair, params, variant, PairwiseSeed(seed, a, b));
+  if (!search.ok()) return search.status();
+  Result<SearchOutcome> outcome = search.value()->Run(ctx);
+  if (!outcome.ok()) return outcome.status();
+  out.entry.windows = std::move(outcome.value().windows);
+  out.entry.partial = outcome.value().partial;
+  for (const Window& w : out.entry.windows.windows()) {
+    out.entry.best_score = std::max(out.entry.best_score, w.mi);
+  }
+  out.stop_reason = outcome.value().stop_reason;
+  return out;
+}
 
 std::vector<size_t> PairwiseResult::Correlated() const {
   std::vector<size_t> out;
@@ -80,7 +101,7 @@ Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
                                       const TycosParams& params,
                                       TycosVariant variant, uint64_t seed,
                                       const RunContext& ctx) {
-  Status st = ValidateChannels(channels);
+  Status st = ValidatePairwiseChannels(channels);
   if (!st.ok()) return st;
   // Params are identical for every pair; validating once up front keeps the
   // fan-out free of per-pair construction failures.
@@ -115,40 +136,22 @@ Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
   ThreadPool pool(threads - 1);
   const ThreadPool::ForStatus fs = pool.ParallelFor(
       total_pairs, ctx, [&](int64_t p) -> std::optional<StopReason> {
-        TYCOS_SPAN("pairwise_pair");
-        static obs::Counter* pairs_searched =
-            obs::GetCounter("pairwise.pairs_searched");
-        pairs_searched->Add(1);
         Slot& slot = slots[static_cast<size_t>(p)];
         const auto [a, b] = pairs[static_cast<size_t>(p)];
-        PairwiseEntry& entry = slot.entry;
-        entry.a = a;
-        entry.b = b;
-        const SeriesPair pair(channels[static_cast<size_t>(a)],
-                              channels[static_cast<size_t>(b)]);
-        Result<std::unique_ptr<Tycos>> search =
-            Tycos::Create(pair, inner, variant, PairSeed(seed, a, b));
-        if (!search.ok()) {
+        Result<PairOutcome> outcome =
+            SearchPair(channels, a, b, inner, variant, seed, ctx);
+        if (!outcome.ok()) {
           // Halt further claims; the recorded status (not this reason) is
           // what the caller sees.
-          slot.status = search.status();
-          return StopReason::kCancelled;
-        }
-        Result<SearchOutcome> outcome = search.value()->Run(ctx);
-        if (!outcome.ok()) {
           slot.status = outcome.status();
           return StopReason::kCancelled;
         }
-        entry.windows = std::move(outcome.value().windows);
-        entry.partial = outcome.value().partial;
-        for (const Window& w : entry.windows.windows()) {
-          entry.best_score = std::max(entry.best_score, w.mi);
-        }
+        slot.entry = std::move(outcome.value().entry);
         // A per-pair budget exhausting is expected on every pair; only
         // global limits (deadline, cancellation) end the whole sweep.
         const StopReason reason = outcome.value().stop_reason;
-        if (entry.partial && (reason == StopReason::kDeadlineExceeded ||
-                              reason == StopReason::kCancelled)) {
+        if (slot.entry.partial && (reason == StopReason::kDeadlineExceeded ||
+                                   reason == StopReason::kCancelled)) {
           return reason;
         }
         return std::nullopt;
@@ -167,7 +170,7 @@ Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
   for (int64_t p = 0; p < fs.claimed; ++p) {
     result.entries.push_back(std::move(slots[static_cast<size_t>(p)].entry));
   }
-  SortEntries(&result.entries);
+  SortPairwiseEntries(&result.entries);
   result.pairs_searched = static_cast<int64_t>(result.entries.size());
   result.pairs_skipped = total_pairs - result.pairs_searched;
   result.partial = fs.stop.has_value() || result.pairs_skipped > 0;

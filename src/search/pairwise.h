@@ -25,8 +25,21 @@ struct PairwiseEntry {
   WindowSet windows;
   double best_score = 0.0;  // strongest window, 0 when none found
   bool partial = false;     // this pair's search was cut short
+  // Admission-gate shed level this pair ran at (src/jobs/admission.h);
+  // 0 = full params. Non-zero marks a deliberately degraded search, so a
+  // coarse answer produced under overload is never mistaken for a
+  // full-fidelity one. Plain PairwiseSearch always runs at level 0.
+  int shed_level = 0;
 
   int64_t window_count() const { return static_cast<int64_t>(windows.size()); }
+};
+
+// One pair's finished search as a self-contained unit: the entry plus how
+// the inner search ended. This is the unit of work the durable-job layer
+// (src/jobs/) supervises, retries, and checkpoints.
+struct PairOutcome {
+  PairwiseEntry entry;
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 struct PairwiseResult {
@@ -71,6 +84,36 @@ Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
                                       const TycosParams& params,
                                       TycosVariant variant, uint64_t seed,
                                       const RunContext& ctx);
+
+// --- Building blocks shared with the durable-job layer (src/jobs/) ---
+//
+// PairwiseSearch is exactly: ValidatePairwiseChannels, SearchPair on every
+// (a, b) with a < b, SortPairwiseEntries on the collected entries. The
+// durable runner replays the identical recipe over the not-yet-checkpointed
+// subset, which is what makes a resumed run bit-identical to an
+// uninterrupted one.
+
+// The channel-level validation PairwiseSearch performs (>= 2 channels,
+// equal lengths, finite values).
+Status ValidatePairwiseChannels(const std::vector<TimeSeries>& channels);
+
+// The per-pair seed stream. Kept stable across releases so stored results
+// (and checkpoints) stay reproducible.
+uint64_t PairwiseSeed(uint64_t seed, int a, int b);
+
+// Runs one pair's search: Tycos(variant) on (channels[a], channels[b]) with
+// the pair's derived seed, threading `ctx` through the inner search. The
+// caller must have validated channels and params; a/b must index into
+// channels with a < b. Deterministic for a fixed (channels, params, variant,
+// seed) — independent of which other pairs ran before it.
+Result<PairOutcome> SearchPair(const std::vector<TimeSeries>& channels, int a,
+                               int b, const TycosParams& params,
+                               TycosVariant variant, uint64_t seed,
+                               const RunContext& ctx);
+
+// The result ordering PairwiseSearch applies: best_score descending, ties
+// by window count, then (a, b).
+void SortPairwiseEntries(std::vector<PairwiseEntry>* entries);
 
 }  // namespace tycos
 

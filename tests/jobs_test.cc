@@ -1,0 +1,922 @@
+// Tests for the durable-job layer: checkpoint format round trips and
+// corruption handling, retry/backoff supervision, the overload-shedding
+// ladder, and the headline property — a run interrupted at ANY pair
+// boundary and resumed, at any thread count, produces results bit-identical
+// to an uninterrupted run.
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/relations.h"
+#include "jobs/admission.h"
+#include "jobs/checkpoint.h"
+#include "jobs/durable_pairwise.h"
+#include "jobs/supervisor.h"
+#include "search/fault_injector.h"
+#include "search/pairwise.h"
+
+namespace tycos {
+namespace {
+
+using datagen::ComposeDataset;
+using datagen::RelationType;
+using datagen::SegmentSpec;
+using jobs::CheckpointData;
+using jobs::CheckpointedPair;
+using jobs::CheckpointWriter;
+using jobs::DurableJobOptions;
+using jobs::DurableOutcome;
+using jobs::LoadCheckpoint;
+using jobs::ResumePairwiseSearch;
+
+// Three channels: A and B share a planted relation, C is independent noise.
+std::vector<TimeSeries> MakeChannels(uint64_t seed) {
+  const auto ds = ComposeDataset(
+      {SegmentSpec{RelationType::kSine, 200, 8}}, /*gap=*/200, seed);
+  Rng rng(seed + 99);
+  std::vector<double> c(static_cast<size_t>(ds.pair.size()));
+  for (double& v : c) v = rng.Normal();
+  return {ds.pair.x(), ds.pair.y(), TimeSeries(std::move(c), "C")};
+}
+
+TycosParams Params() {
+  TycosParams p;
+  p.sigma = 0.5;
+  p.s_min = 24;
+  p.s_max = 300;
+  p.td_max = 16;
+  return p;
+}
+
+// A throwaway checkpoint path, removed up front so a previous run's file
+// never leaks into this one.
+std::string TempCheckpoint(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name + ".ckpt";
+  std::remove(path.c_str());
+  return path;
+}
+
+CheckpointWriter::Options WriterOptions() {
+  CheckpointWriter::Options o;
+  o.config_hash = 111;
+  o.data_fingerprint = 222;
+  o.seed = 42;
+  o.num_channels = 4;
+  o.series_length = 500;
+  return o;
+}
+
+CheckpointedPair MakePair(int a, int b, double score) {
+  CheckpointedPair p;
+  p.entry.a = a;
+  p.entry.b = b;
+  p.entry.best_score = score;
+  p.entry.shed_level = 1;
+  p.entry.windows.Insert(Window(10, 90, -3, score));
+  p.entry.windows.Insert(Window(200, 260, 5, score / 2));
+  return p;
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Records requested waits instead of sleeping, so retry schedules run in
+// zero wall time. Thread-safe: durable runs sleep from pool workers.
+class FakeSleeper : public jobs::BackoffSleeper {
+ public:
+  std::optional<StopReason> Sleep(double seconds,
+                                  const RunContext& ctx) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sleeps_.push_back(seconds);
+    }
+    if (cancel_target_ != nullptr) {
+      cancel_target_->RequestCancel();
+      return StopReason::kCancelled;
+    }
+    return ctx.ShouldStop();
+  }
+
+  std::vector<double> sleeps() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sleeps_;
+  }
+  void CancelDuringSleep(RunContext* ctx) { cancel_target_ = ctx; }
+
+ private:
+  std::mutex mu_;
+  std::vector<double> sleeps_;
+  RunContext* cancel_target_ = nullptr;
+};
+
+class FakeProbe : public jobs::LoadProbe {
+ public:
+  explicit FakeProbe(int64_t rss) : rss_(rss) {}
+  jobs::LoadSample Sample() override {
+    jobs::LoadSample s;
+    s.rss_bytes = rss_;
+    return s;
+  }
+
+ private:
+  int64_t rss_;
+};
+
+void ExpectBitIdentical(const PairwiseResult& got,
+                        const PairwiseResult& want) {
+  ASSERT_EQ(got.entries.size(), want.entries.size());
+  for (size_t i = 0; i < got.entries.size(); ++i) {
+    const PairwiseEntry& g = got.entries[i];
+    const PairwiseEntry& w = want.entries[i];
+    EXPECT_EQ(g.a, w.a) << "entry " << i;
+    EXPECT_EQ(g.b, w.b) << "entry " << i;
+    EXPECT_EQ(g.best_score, w.best_score) << "entry " << i;  // bit-exact
+    EXPECT_EQ(g.partial, w.partial) << "entry " << i;
+    ASSERT_EQ(g.windows.size(), w.windows.size()) << "entry " << i;
+    const std::vector<Window>& gw = g.windows.windows();
+    const std::vector<Window>& ww = w.windows.windows();
+    for (size_t j = 0; j < gw.size(); ++j) {
+      EXPECT_EQ(gw[j].start, ww[j].start);
+      EXPECT_EQ(gw[j].end, ww[j].end);
+      EXPECT_EQ(gw[j].delay, ww[j].delay);
+      EXPECT_EQ(gw[j].mi, ww[j].mi);  // bit-exact
+    }
+  }
+  EXPECT_EQ(got.pairs_searched, want.pairs_searched);
+  EXPECT_EQ(got.pairs_skipped, want.pairs_skipped);
+}
+
+// --- Checkpoint format ------------------------------------------------------
+
+TEST(CheckpointTest, RoundTripsRecordsBitExactly) {
+  const std::string path = TempCheckpoint("roundtrip");
+  const CheckpointedPair p1 = MakePair(0, 1, 0.875);
+  const CheckpointedPair p2 = MakePair(2, 3, 1.0 / 3.0);  // inexact double
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    ASSERT_TRUE(writer.value().Append(p1).ok());
+    ASSERT_TRUE(writer.value().Append(p2).ok());
+    EXPECT_EQ(writer.value().records_written(), 2);
+    EXPECT_GT(writer.value().bytes_written(), 0);
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const CheckpointData& data = loaded.value();
+  EXPECT_EQ(data.config_hash, 111u);
+  EXPECT_EQ(data.data_fingerprint, 222u);
+  EXPECT_EQ(data.seed, 42u);
+  EXPECT_EQ(data.num_channels, 4u);
+  EXPECT_EQ(data.series_length, 500);
+  EXPECT_EQ(data.dropped_tail_bytes, 0);
+  ASSERT_EQ(data.pairs.size(), 2u);
+  EXPECT_EQ(data.pairs[0].entry.a, 0);
+  EXPECT_EQ(data.pairs[0].entry.b, 1);
+  EXPECT_EQ(data.pairs[0].entry.best_score, 0.875);  // bit-exact
+  EXPECT_EQ(data.pairs[0].entry.shed_level, 1);
+  EXPECT_EQ(data.pairs[1].entry.best_score, 1.0 / 3.0);
+  ASSERT_EQ(data.pairs[1].entry.windows.size(), 2u);
+  EXPECT_EQ(data.pairs[1].entry.windows.windows()[0].delay, -3);
+  EXPECT_EQ(data.pairs[1].entry.windows.windows()[0].mi, 1.0 / 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  auto loaded = LoadCheckpoint(::testing::TempDir() + "/no_such.ckpt");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, TruncatedHeaderRejected) {
+  const std::string path = TempCheckpoint("trunc_header");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes.resize(bytes.size() / 2);
+  WriteAll(path, bytes);
+  EXPECT_EQ(LoadCheckpoint(path).status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, BadMagicRejected) {
+  const std::string path = TempCheckpoint("bad_magic");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[0] ^= 0xFF;
+  WriteAll(path, bytes);
+  const Status st = LoadCheckpoint(path).status();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, VersionMismatchRejected) {
+  const std::string path = TempCheckpoint("bad_version");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[8] = 0xEE;  // format version lives right after the 8-byte magic
+  WriteAll(path, bytes);
+  const Status st = LoadCheckpoint(path).status();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CorruptHeaderChecksumRejected) {
+  const std::string path = TempCheckpoint("bad_header_crc");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[20] ^= 0x01;  // inside config_hash
+  WriteAll(path, bytes);
+  const Status st = LoadCheckpoint(path).status();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, InteriorCorruptionRejectsWholeFile) {
+  const std::string path = TempCheckpoint("interior");
+  size_t header_size = 0;
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    header_size = ReadAll(path).size();
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 1, 0.5)).ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 2, 0.25)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[header_size + 6] ^= 0x10;  // inside the FIRST record's payload
+  WriteAll(path, bytes);
+  const Status st = LoadCheckpoint(path).status();
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("interior"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TornTrailingRecordIsDropped) {
+  const std::string path = TempCheckpoint("torn");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 1, 0.5)).ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 2, 0.25)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes.resize(bytes.size() - 5);  // SIGKILL mid-append of the second record
+  WriteAll(path, bytes);
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_EQ(loaded.value().pairs.size(), 1u);
+  EXPECT_EQ(loaded.value().pairs[0].entry.b, 1);
+  EXPECT_GT(loaded.value().dropped_tail_bytes, 0);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CorruptLastRecordTreatedAsTornTail) {
+  const std::string path = TempCheckpoint("torn_crc");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 1, 0.5)).ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 2, 0.25)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[bytes.size() - 10] ^= 0x40;  // partial persist of the last record
+  WriteAll(path, bytes);
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_EQ(loaded.value().pairs.size(), 1u);
+  EXPECT_GT(loaded.value().dropped_tail_bytes, 0);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, OpenRejectsMismatchedRun) {
+  const std::string path = TempCheckpoint("mismatch");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  CheckpointWriter::Options other = WriterOptions();
+  other.seed = 43;
+  const Status st = CheckpointWriter::Open(path, other).status();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("different run"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, AppendAfterCloseFails) {
+  const std::string path = TempCheckpoint("closed");
+  auto writer = CheckpointWriter::Open(path, WriterOptions());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value().Close().ok());
+  EXPECT_FALSE(writer.value().Append(MakePair(0, 1, 0.5)).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, DuplicatePairFirstRecordWins) {
+  const std::string path = TempCheckpoint("dupe");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 1, 0.5)).ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 1, 0.9)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().pairs.size(), 1u);
+  EXPECT_EQ(loaded.value().pairs[0].entry.best_score, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FingerprintSensitiveToDataAndNames) {
+  const std::vector<TimeSeries> a = MakeChannels(1);
+  const uint64_t base = jobs::FingerprintChannels(a);
+  EXPECT_EQ(base, jobs::FingerprintChannels(MakeChannels(1)));
+  EXPECT_NE(base, jobs::FingerprintChannels(MakeChannels(2)));
+
+  std::vector<TimeSeries> renamed = a;
+  renamed[2] = TimeSeries(std::vector<double>(a[2].values()), "renamed");
+  EXPECT_NE(base, jobs::FingerprintChannels(renamed));
+
+  std::vector<double> tweaked(a[2].values());
+  tweaked[7] += 1e-9;
+  std::vector<TimeSeries> changed = a;
+  changed[2] = TimeSeries(std::move(tweaked), "C");
+  EXPECT_NE(base, jobs::FingerprintChannels(changed));
+}
+
+TEST(CheckpointTest, ConfigHashCoversKnobsButNotThreads) {
+  const TycosParams p = Params();
+  const uint64_t base = jobs::HashSearchConfig(p, TycosVariant::kLMN, 42);
+  EXPECT_EQ(base, jobs::HashSearchConfig(p, TycosVariant::kLMN, 42));
+  EXPECT_NE(base, jobs::HashSearchConfig(p, TycosVariant::kLMN, 43));
+  EXPECT_NE(base, jobs::HashSearchConfig(p, TycosVariant::kLM, 42));
+  TycosParams sigma = p;
+  sigma.sigma = 0.6;
+  EXPECT_NE(base, jobs::HashSearchConfig(sigma, TycosVariant::kLMN, 42));
+  // Results are thread-count invariant, so a checkpoint written at 8
+  // threads must resume at 1: num_threads is excluded from the hash.
+  TycosParams threads = p;
+  threads.num_threads = 8;
+  EXPECT_EQ(base, jobs::HashSearchConfig(threads, TycosVariant::kLMN, 42));
+}
+
+// --- Supervisor -------------------------------------------------------------
+
+TEST(SupervisorTest, ClassifiesTransientVsPermanent) {
+  EXPECT_EQ(jobs::ClassifyStatus(Status::Unavailable("x")),
+            jobs::ErrorClass::kTransient);
+  EXPECT_EQ(jobs::ClassifyStatus(Status::IoError("x")),
+            jobs::ErrorClass::kTransient);
+  EXPECT_EQ(jobs::ClassifyStatus(Status::Internal("x")),
+            jobs::ErrorClass::kPermanent);
+  EXPECT_EQ(jobs::ClassifyStatus(Status::InvalidArgument("x")),
+            jobs::ErrorClass::kPermanent);
+}
+
+TEST(SupervisorTest, FirstAttemptSuccessNeverSleeps) {
+  FakeSleeper sleeper;
+  const jobs::SuperviseResult r =
+      jobs::Supervise({}, 1, 0, RunContext::None(), &sleeper,
+                      [](int) { return Status::Ok(); });
+  EXPECT_TRUE(r.final_status.ok());
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.transient_failures, 0);
+  EXPECT_TRUE(sleeper.sleeps().empty());
+}
+
+TEST(SupervisorTest, TransientFailuresRetryWithBackoffThenSucceed) {
+  FakeSleeper sleeper;
+  jobs::RetryPolicy policy;
+  policy.max_attempts = 3;
+  const jobs::SuperviseResult r = jobs::Supervise(
+      policy, 7, 5, RunContext::None(), &sleeper, [](int n) {
+        return n < 3 ? Status::Unavailable("flaky") : Status::Ok();
+      });
+  EXPECT_TRUE(r.final_status.ok());
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(r.transient_failures, 2);
+  const std::vector<double> sleeps = sleeper.sleeps();
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], jobs::BackoffSeconds(policy, 7, 5, 1));
+  EXPECT_EQ(sleeps[1], jobs::BackoffSeconds(policy, 7, 5, 2));
+}
+
+TEST(SupervisorTest, PermanentFailureNeverRetries) {
+  FakeSleeper sleeper;
+  int calls = 0;
+  const jobs::SuperviseResult r =
+      jobs::Supervise({}, 1, 0, RunContext::None(), &sleeper, [&](int) {
+        ++calls;
+        return Status::Internal("broken invariant");
+      });
+  EXPECT_FALSE(r.final_status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeper.sleeps().empty());
+}
+
+TEST(SupervisorTest, RetryBudgetBoundsTransientFailures) {
+  FakeSleeper sleeper;
+  jobs::RetryPolicy policy;
+  policy.max_attempts = 4;
+  int calls = 0;
+  const jobs::SuperviseResult r = jobs::Supervise(
+      policy, 1, 0, RunContext::None(), &sleeper, [&](int) {
+        ++calls;
+        return Status::Unavailable("always down");
+      });
+  EXPECT_FALSE(r.final_status.ok());
+  EXPECT_EQ(r.final_status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(r.transient_failures, 4);
+  EXPECT_EQ(sleeper.sleeps().size(), 3u);  // no sleep after the last attempt
+}
+
+TEST(SupervisorTest, BackoffIsExponentialCappedAndJittered) {
+  jobs::RetryPolicy policy;
+  policy.initial_backoff_s = 0.1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 0.5;
+  policy.jitter_ratio = 0.25;
+  double prev_base = 0.0;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    const double s = jobs::BackoffSeconds(policy, 9, 3, attempt);
+    // Deterministic: the same (seed, unit, attempt) always jitters alike.
+    EXPECT_EQ(s, jobs::BackoffSeconds(policy, 9, 3, attempt));
+    const double base = std::min(0.1 * (1 << (attempt - 1)), 0.5);
+    EXPECT_GE(s, base * 0.75);
+    EXPECT_LE(s, base * 1.25);
+    EXPECT_GE(base, prev_base);
+    prev_base = base;
+  }
+  // Different units decorrelate (retry storms do not re-collide).
+  EXPECT_NE(jobs::BackoffSeconds(policy, 9, 3, 1),
+            jobs::BackoffSeconds(policy, 9, 4, 1));
+}
+
+TEST(SupervisorTest, CancellationPreemptsAttempts) {
+  FakeSleeper sleeper;
+  RunContext ctx;
+  ctx.RequestCancel();
+  int calls = 0;
+  const jobs::SuperviseResult r =
+      jobs::Supervise({}, 1, 0, ctx, &sleeper, [&](int) {
+        ++calls;
+        return Status::Ok();
+      });
+  EXPECT_EQ(calls, 0);
+  ASSERT_TRUE(r.stopped.has_value());
+  EXPECT_EQ(*r.stopped, StopReason::kCancelled);
+}
+
+TEST(SupervisorTest, CancellationInterruptsBackoff) {
+  FakeSleeper sleeper;
+  RunContext ctx;
+  sleeper.CancelDuringSleep(&ctx);
+  int calls = 0;
+  const jobs::SuperviseResult r =
+      jobs::Supervise({}, 1, 0, ctx, &sleeper, [&](int) {
+        ++calls;
+        return Status::Unavailable("flaky");
+      });
+  EXPECT_EQ(calls, 1);  // the backoff wait was interrupted, no retry
+  ASSERT_TRUE(r.stopped.has_value());
+  EXPECT_EQ(*r.stopped, StopReason::kCancelled);
+}
+
+// --- Fault schedule ---------------------------------------------------------
+
+TEST(PairFaultScheduleTest, DeterministicAndHealing) {
+  PairFaultSchedule::Spec spec;
+  spec.transient_rate = 1.0;
+  spec.heal_at_attempt = 3;
+  const PairFaultSchedule sched(5, spec);
+  for (int64_t pair = 0; pair < 10; ++pair) {
+    EXPECT_EQ(sched.At(pair, 1), FaultClass::kTransient);
+    EXPECT_EQ(sched.At(pair, 2), FaultClass::kTransient);
+    EXPECT_EQ(sched.At(pair, 3), FaultClass::kNone);  // healed
+    EXPECT_EQ(sched.At(pair, 1), sched.At(pair, 1));  // pure function
+  }
+}
+
+TEST(PairFaultScheduleTest, PermanentFaultIgnoresAttempt) {
+  PairFaultSchedule::Spec spec;
+  spec.permanent_rate = 1.0;
+  const PairFaultSchedule sched(5, spec);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    EXPECT_EQ(sched.At(0, attempt), FaultClass::kPermanent);
+  }
+}
+
+TEST(PairFaultScheduleTest, StatusCodesMatchClassification) {
+  EXPECT_EQ(
+      PairFaultSchedule::MakeStatus(FaultClass::kTransient, 0, 1).code(),
+      StatusCode::kUnavailable);
+  EXPECT_EQ(
+      PairFaultSchedule::MakeStatus(FaultClass::kPermanent, 0, 1).code(),
+      StatusCode::kInternal);
+}
+
+// --- Admission / shedding ---------------------------------------------------
+
+TEST(AdmissionTest, ShedLadderBands) {
+  jobs::ShedPolicy policy;
+  policy.rss_soft_bytes = 100;
+  policy.rss_hard_bytes = 200;  // midpoint 150
+  const auto level = [&](int64_t rss) {
+    jobs::LoadSample s;
+    s.rss_bytes = rss;
+    return jobs::ShedLevel(policy, s);
+  };
+  EXPECT_EQ(level(0), 0);
+  EXPECT_EQ(level(99), 0);
+  EXPECT_EQ(level(100), 1);
+  EXPECT_EQ(level(149), 1);
+  EXPECT_EQ(level(150), 2);
+  EXPECT_EQ(level(199), 2);
+  EXPECT_EQ(level(200), 3);
+}
+
+TEST(AdmissionTest, WorstAxisWins) {
+  jobs::ShedPolicy policy;
+  policy.rss_soft_bytes = 100;
+  policy.rss_hard_bytes = 200;
+  policy.queue_soft = 4;
+  policy.queue_hard = 8;
+  jobs::LoadSample s;
+  s.rss_bytes = 50;  // level 0
+  s.queue_depth = 9;  // level 3
+  EXPECT_EQ(jobs::ShedLevel(policy, s), 3);
+}
+
+TEST(AdmissionTest, DisabledPolicyNeverSheds) {
+  const jobs::ShedPolicy policy;
+  EXPECT_FALSE(policy.enabled());
+  jobs::LoadSample s;
+  s.rss_bytes = 1 << 30;
+  s.queue_depth = 1000;
+  EXPECT_EQ(jobs::ShedLevel(policy, s), 0);
+}
+
+TEST(AdmissionTest, DegradeParamsLadderIsDeterministic) {
+  const TycosParams p = Params();
+  const TycosParams l0 = jobs::DegradeParams(p, 0);
+  EXPECT_EQ(l0.num_restarts, p.num_restarts);
+  const TycosParams l1 = jobs::DegradeParams(p, 1);
+  EXPECT_EQ(l1.num_restarts, 0);
+  EXPECT_LE(l1.max_neighborhood_level, 4);
+  EXPECT_EQ(l1.max_idle, p.max_idle);
+  const TycosParams l2 = jobs::DegradeParams(p, 2);
+  EXPECT_LE(l2.max_idle, 4);
+  EXPECT_LE(l2.history_length, 3);
+  EXPECT_EQ(l2.num_restarts, jobs::DegradeParams(p, 2).num_restarts);
+  EXPECT_EQ(jobs::ShedBudgetScale(0), 1.0);
+  EXPECT_EQ(jobs::ShedBudgetScale(1), 0.5);
+  EXPECT_EQ(jobs::ShedBudgetScale(2), 0.25);
+}
+
+// --- Durable runner ---------------------------------------------------------
+
+TEST(DurablePairwiseTest, RequiresCheckpointPath) {
+  const auto channels = MakeChannels(1);
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, RunContext::None(), {});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DurablePairwiseTest, FreshRunMatchesPlainPairwiseSearch) {
+  const auto channels = MakeChannels(1);
+  const PairwiseResult want =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN, 42);
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("fresh");
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, RunContext::None(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ExpectBitIdentical(r.value().result, want);
+  EXPECT_EQ(r.value().result.stop_reason, StopReason::kCompleted);
+  EXPECT_FALSE(r.value().result.partial);
+  EXPECT_EQ(r.value().stats.pairs_run, 3);
+  EXPECT_EQ(r.value().stats.pairs_resumed, 0);
+  EXPECT_EQ(r.value().stats.checkpoint_records_written, 3);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+// The headline property: interrupt at EVERY pair boundary, resume at
+// several thread counts, and the final result must be bit-identical to the
+// uninterrupted run.
+TEST(DurablePairwiseTest, ResumeIsBitIdenticalAtEveryBoundaryAndThreadCount) {
+  const auto channels = MakeChannels(3);
+  const int64_t total = 3;  // C(3, 2)
+  const PairwiseResult want =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN, 7);
+  for (int64_t boundary = 0; boundary <= total; ++boundary) {
+    for (const int threads : {1, 2, 8}) {
+      TycosParams p = Params();
+      p.num_threads = threads;
+      DurableJobOptions opts;
+      opts.checkpoint_path =
+          TempCheckpoint("resume_" + std::to_string(boundary) + "_" +
+                         std::to_string(threads));
+
+      // Phase 1: run exactly `boundary` pairs, then "crash" (stop).
+      if (boundary > 0) {
+        opts.max_pairs_this_run = boundary;
+        const auto first = ResumePairwiseSearch(
+            channels, p, TycosVariant::kLMN, 7, RunContext::None(), opts);
+        ASSERT_TRUE(first.ok()) << first.status().message();
+        EXPECT_EQ(first.value().stats.pairs_run, boundary);
+        if (boundary < total) {
+          EXPECT_EQ(first.value().result.stop_reason, StopReason::kPaused);
+          EXPECT_TRUE(first.value().result.partial);
+        }
+      }
+
+      // Phase 2: resume with no cap; must complete and match bit-for-bit.
+      opts.max_pairs_this_run = 0;
+      const auto resumed = ResumePairwiseSearch(
+          channels, p, TycosVariant::kLMN, 7, RunContext::None(), opts);
+      ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+      EXPECT_EQ(resumed.value().stats.pairs_resumed, boundary);
+      EXPECT_EQ(resumed.value().stats.pairs_run, total - boundary);
+      EXPECT_EQ(resumed.value().result.stop_reason, StopReason::kCompleted);
+      ExpectBitIdentical(resumed.value().result, want);
+      std::remove(opts.checkpoint_path.c_str());
+    }
+  }
+}
+
+TEST(DurablePairwiseTest, RejectsCheckpointFromDifferentRun) {
+  const auto channels = MakeChannels(1);
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("wrong_run");
+  ASSERT_TRUE(ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN, 42,
+                                   RunContext::None(), opts)
+                  .ok());
+  // Same file, different seed: refuse rather than mix two runs' records.
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      43, RunContext::None(), opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, RejectsCorruptCheckpoint) {
+  const auto channels = MakeChannels(1);
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("corrupt_resume");
+  ASSERT_TRUE(ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN, 42,
+                                   RunContext::None(), opts)
+                  .ok());
+  std::vector<uint8_t> bytes = ReadAll(opts.checkpoint_path);
+  // Corrupt the first record's payload (the 56-byte header, then a 4-byte
+  // length prefix, then payload): an interior record with records after it
+  // must reject the file — never be silently dropped like a torn tail.
+  bytes[62] ^= 0x08;
+  WriteAll(opts.checkpoint_path, bytes);
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, RunContext::None(), opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, TransientFaultsHealWithinRetryBound) {
+  const auto channels = MakeChannels(1);
+  const PairwiseResult want =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN, 42);
+  PairFaultSchedule::Spec spec;
+  spec.transient_rate = 1.0;   // every pair's first attempt fails...
+  spec.heal_at_attempt = 2;    // ...and every later attempt succeeds
+  const PairFaultSchedule faults(11, spec);
+  FakeSleeper sleeper;
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("transient");
+  opts.faults = &faults;
+  opts.sleeper = &sleeper;
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, RunContext::None(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ExpectBitIdentical(r.value().result, want);  // faults leave no trace
+  EXPECT_EQ(r.value().stats.pairs_failed, 0);
+  EXPECT_EQ(r.value().stats.retries, 3);  // one transient retry per pair
+  EXPECT_EQ(sleeper.sleeps().size(), 3u);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, PermanentFaultIsolatesToItsPair) {
+  const auto channels = MakeChannels(1);
+  // permanent_rate = 1.0 would fault every pair; instead find a seed where
+  // exactly pair 0 is permanently faulted by probing the schedule.
+  PairFaultSchedule::Spec spec;
+  spec.permanent_rate = 0.3;
+  uint64_t sched_seed = 0;
+  int64_t faulted = -1;
+  for (uint64_t s = 1; s < 200 && faulted < 0; ++s) {
+    const PairFaultSchedule probe(s, spec);
+    int count = 0;
+    int64_t which = -1;
+    for (int64_t pair = 0; pair < 3; ++pair) {
+      if (probe.At(pair, 1) == FaultClass::kPermanent) {
+        ++count;
+        which = pair;
+      }
+    }
+    if (count == 1) {
+      sched_seed = s;
+      faulted = which;
+    }
+  }
+  ASSERT_GE(faulted, 0) << "no seed faults exactly one pair";
+  const PairFaultSchedule faults(sched_seed, spec);
+  FakeSleeper sleeper;
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("permanent");
+  opts.faults = &faults;
+  opts.sleeper = &sleeper;
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, RunContext::None(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  const DurableOutcome& out = r.value();
+  EXPECT_EQ(out.stats.pairs_failed, 1);
+  ASSERT_EQ(out.stats.failures.size(), 1u);
+  EXPECT_EQ(out.stats.failures[0].attempts, 1);  // permanent: no retry
+  EXPECT_EQ(out.stats.failures[0].status.code(), StatusCode::kInternal);
+  // The other two pairs completed and are in the result; the faulted one
+  // is not, and the run reports itself partial.
+  EXPECT_EQ(out.result.entries.size(), 2u);
+  EXPECT_TRUE(out.result.partial);
+  for (const PairwiseEntry& e : out.result.entries) {
+    EXPECT_FALSE(e.a == out.stats.failures[0].a &&
+                 e.b == out.stats.failures[0].b);
+  }
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, FailedPairsAreRetriedOnResume) {
+  const auto channels = MakeChannels(1);
+  PairFaultSchedule::Spec spec;
+  spec.permanent_rate = 1.0;  // first invocation: every pair fails
+  const PairFaultSchedule all_fail(3, spec);
+  FakeSleeper sleeper;
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("retry_on_resume");
+  opts.faults = &all_fail;
+  opts.sleeper = &sleeper;
+  const auto first = ResumePairwiseSearch(
+      channels, Params(), TycosVariant::kLMN, 42, RunContext::None(), opts);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().stats.pairs_failed, 3);
+  EXPECT_TRUE(first.value().result.entries.empty());
+
+  // Second invocation without faults: the failed pairs were never
+  // checkpointed, so they all rerun — and the job completes.
+  opts.faults = nullptr;
+  const auto second = ResumePairwiseSearch(
+      channels, Params(), TycosVariant::kLMN, 42, RunContext::None(), opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().stats.pairs_resumed, 0);
+  EXPECT_EQ(second.value().stats.pairs_run, 3);
+  ExpectBitIdentical(second.value().result,
+                     PairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                    42));
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, ShedLevelDegradesAndIsRecorded) {
+  const auto channels = MakeChannels(1);
+  FakeProbe probe(150);  // between soft (100) and midpoint (→ level 1)
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("shed1");
+  opts.probe = &probe;
+  opts.shed.rss_soft_bytes = 100;
+  opts.shed.rss_hard_bytes = 1000;
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, RunContext::None(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().stats.pairs_degraded, 3);
+  for (const PairwiseEntry& e : r.value().result.entries) {
+    EXPECT_EQ(e.shed_level, 1);
+  }
+  // The recorded level survives the checkpoint round trip.
+  auto loaded = LoadCheckpoint(opts.checkpoint_path);
+  ASSERT_TRUE(loaded.ok());
+  for (const CheckpointedPair& cp : loaded.value().pairs) {
+    EXPECT_EQ(cp.entry.shed_level, 1);
+  }
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, HardOverloadRefusesWorkForLater) {
+  const auto channels = MakeChannels(1);
+  FakeProbe probe(5000);  // far past the hard threshold → level 3
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("shed3");
+  opts.probe = &probe;
+  opts.shed.rss_soft_bytes = 100;
+  opts.shed.rss_hard_bytes = 1000;
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, RunContext::None(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().stats.pairs_refused, 3);
+  EXPECT_EQ(r.value().stats.pairs_run, 0);
+  EXPECT_TRUE(r.value().result.entries.empty());
+  EXPECT_TRUE(r.value().result.partial);
+  EXPECT_EQ(r.value().result.pairs_skipped, 3);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, WatchdogIsolatesPathologicalPairs) {
+  const auto channels = MakeChannels(1);
+  FakeSleeper sleeper;
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("watchdog");
+  opts.sleeper = &sleeper;
+  opts.pair_time_slice_s = 1e-9;  // every attempt expires immediately
+  opts.retry.max_attempts = 2;
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, RunContext::None(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  // Every pair exceeded its slice on every attempt: all isolated as
+  // failures, the global run is never starved, and nothing was
+  // checkpointed (a watchdog partial is timing-dependent).
+  EXPECT_EQ(r.value().stats.pairs_failed, 3);
+  EXPECT_GE(r.value().stats.watchdog_timeouts, 3);
+  EXPECT_EQ(r.value().stats.checkpoint_records_written, 0);
+  for (const jobs::PairFailure& f : r.value().stats.failures) {
+    EXPECT_EQ(f.status.code(), StatusCode::kUnavailable);
+    EXPECT_NE(f.status.message().find("watchdog"), std::string::npos);
+  }
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, GlobalCancellationKeepsPartialsUncheckpointed) {
+  const auto channels = MakeChannels(1);
+  RunContext ctx;
+  ctx.RequestCancel();  // cancelled before any pair starts
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("cancelled");
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, ctx, opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().result.stop_reason, StopReason::kCancelled);
+  EXPECT_TRUE(r.value().result.partial);
+  EXPECT_EQ(r.value().stats.checkpoint_records_written, 0);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, PerPairBudgetCheckpointsDeterministicStops) {
+  const auto channels = MakeChannels(1);
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("budget");
+  opts.pair_evaluation_budget = 50;  // exhausts on every pair
+  const auto first = ResumePairwiseSearch(
+      channels, Params(), TycosVariant::kLMN, 42, RunContext::None(), opts);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  // Budget exhaustion is deterministic, so the pairs are final and persist.
+  EXPECT_EQ(first.value().stats.checkpoint_records_written, 3);
+  // A resume takes all three from the checkpoint, bit-identically.
+  const auto second = ResumePairwiseSearch(
+      channels, Params(), TycosVariant::kLMN, 42, RunContext::None(), opts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().stats.pairs_resumed, 3);
+  EXPECT_EQ(second.value().stats.pairs_run, 0);
+  ExpectBitIdentical(second.value().result, first.value().result);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace tycos

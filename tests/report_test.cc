@@ -136,6 +136,103 @@ TEST(RenderReportTest, MentionsTheilerWindowOnlyWhenSet) {
             std::string::npos);
 }
 
+TEST(RenderReportTest, RunStatusCompleted) {
+  const Rendered r = MakeRun();
+  const std::string md =
+      RenderReport(r.ds.pair, r.params, r.windows, r.stats);
+  EXPECT_NE(md.find("Run status: completed"), std::string::npos);
+  EXPECT_EQ(md.find("partial"), std::string::npos);
+}
+
+TEST(RenderReportTest, RunStatusSurfacesStopReason) {
+  const Rendered r = MakeRun();
+  TycosStats cut = r.stats;
+  cut.stop_reason = StopReason::kDeadlineExceeded;
+  const std::string md = RenderReport(r.ds.pair, r.params, r.windows, cut);
+  EXPECT_NE(md.find("**partial** — stopped early (deadline_exceeded)"),
+            std::string::npos)
+      << md;
+}
+
+// A pairwise result for the report tests: three entries with distinct
+// provenance (clean, partial, shed-degraded) so every flag renders.
+PairwiseResult MakePairwiseResult() {
+  PairwiseResult result;
+  PairwiseEntry clean;
+  clean.a = 0;
+  clean.b = 1;
+  clean.windows.Insert(Window(10, 80, 3, 0.9));
+  clean.best_score = 0.9;
+  PairwiseEntry partial;
+  partial.a = 0;
+  partial.b = 2;
+  partial.partial = true;
+  PairwiseEntry shed;
+  shed.a = 1;
+  shed.b = 2;
+  shed.shed_level = 2;
+  result.entries = {clean, partial, shed};
+  result.pairs_searched = 3;
+  result.pairs_skipped = 0;
+  return result;
+}
+
+TEST(PairwiseReportTest, ContainsStatusAndPairRows) {
+  const Rendered r = MakeRun();
+  const std::vector<TimeSeries> channels = {r.ds.pair.x(), r.ds.pair.y(),
+                                            TimeSeries({1.0, 2.0}, "C")};
+  const std::string md = RenderPairwiseReport(
+      channels, r.params, MakePairwiseResult());
+  EXPECT_NE(md.find("Run status: completed; 3 pairs searched, 0 skipped"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("## Pairs (3)"), std::string::npos);
+  EXPECT_NE(md.find("0.900"), std::string::npos);
+}
+
+TEST(PairwiseReportTest, FlagsPartialAndShedEntries) {
+  const Rendered r = MakeRun();
+  const std::vector<TimeSeries> channels = {r.ds.pair.x(), r.ds.pair.y(),
+                                            TimeSeries({1.0, 2.0}, "C")};
+  const std::string md = RenderPairwiseReport(
+      channels, r.params, MakePairwiseResult());
+  EXPECT_NE(md.find("| partial |"), std::string::npos) << md;
+  EXPECT_NE(md.find("| shed L2 |"), std::string::npos) << md;
+  EXPECT_NE(md.find("| - |"), std::string::npos);  // the clean row
+}
+
+TEST(PairwiseReportTest, PausedRunReadsAsResumable) {
+  const Rendered r = MakeRun();
+  const std::vector<TimeSeries> channels = {r.ds.pair.x(), r.ds.pair.y()};
+  PairwiseResult result;
+  result.partial = true;
+  result.stop_reason = StopReason::kPaused;
+  result.pairs_searched = 0;
+  result.pairs_skipped = 1;
+  const std::string md = RenderPairwiseReport(channels, r.params, result);
+  EXPECT_NE(md.find("**paused** — checkpointed and resumable (paused)"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("0 pairs searched, 1 skipped"), std::string::npos);
+  EXPECT_NE(md.find("No pairs searched."), std::string::npos);
+}
+
+TEST(PairwiseReportTest, WritesFile) {
+  const Rendered r = MakeRun();
+  const std::vector<TimeSeries> channels = {r.ds.pair.x(), r.ds.pair.y(),
+                                            TimeSeries({1.0, 2.0}, "C")};
+  const std::string path = ::testing::TempDir() + "/tycos_pairwise.md";
+  ASSERT_TRUE(
+      WritePairwiseReport(path, channels, r.params, MakePairwiseResult())
+          .ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("## Pairs"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(WriteReportTest, WritesFile) {
   const Rendered r = MakeRun();
   const std::string path = ::testing::TempDir() + "/tycos_report.md";

@@ -27,6 +27,11 @@ Checks (all on by default; each has a flag to run it alone):
                    times per search, and a span there measures mostly its
                    own overhead. Open spans at function or phase scope and
                    let the loop run span-free.
+  --jobs-io        Durable-job I/O discipline: raw file I/O in src/jobs/ is
+                   confined to checkpoint.cc (the one audited code path),
+                   and there every fopen/fwrite/fflush/fclose/fsync/rename
+                   return value must be checked — a silently failed
+                   checkpoint write would corrupt crash recovery.
   --tidy           Runs clang-tidy over src/ using build/compile_commands.json
                    when both the binary and the database exist; otherwise
                    prints a notice and succeeds (the CI lint job installs
@@ -281,6 +286,50 @@ def check_span_hygiene(errors):
             i += 1
 
 
+def check_jobs_io(errors):
+    """Raw file I/O in src/jobs/ stays inside checkpoint.cc, and there every
+    I/O call's return value must be consumed by an expression (assigned,
+    compared, returned) — never discarded as a bare statement."""
+    io_token = re.compile(
+        r"\b(?:std::)?(?:fopen|fwrite|fread|fflush|fclose|fsync)\s*\("
+        r"|\bstd::(?:rename|remove)\s*\("
+        r"|\bstd::o?i?fstream\b")
+    unchecked = re.compile(
+        r"^\s*(?:\(void\)\s*)?(?:std::)?"
+        r"(?:fwrite|fread|fflush|fclose|fsync|rename|remove)\s*\(")
+    for f in source_files():
+        relf = rel(f)
+        if not relf.startswith("src/jobs/"):
+            continue
+        code = strip_comments_and_strings(f.read_text(encoding="utf-8"))
+        if relf != "src/jobs/checkpoint.cc":
+            for lineno, line in enumerate(code.splitlines(), 1):
+                if io_token.search(line):
+                    errors.append(
+                        f"{relf}:{lineno}: raw file I/O outside "
+                        f"checkpoint.cc — route durable-job I/O through the "
+                        f"checkpoint layer so every operation is checked")
+            continue
+        lines = code.splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if not unchecked.match(line):
+                continue
+            # A call starting a continuation line of a checked expression
+            # (previous code line ends mid-expression) is fine; a call
+            # starting a fresh statement is a discarded result.
+            prev = ""
+            for back in range(lineno - 2, -1, -1):
+                if lines[back].strip():
+                    prev = lines[back].rstrip()
+                    break
+            if prev.endswith(("=", "&&", "||", "(", ",", "?", ":", "+")):
+                continue
+            errors.append(
+                f"{relf}:{lineno}: unchecked checkpoint I/O call — test "
+                f"the return value and surface a Status; crash recovery "
+                f"depends on detecting every failed write")
+
+
 def check_tidy(errors):
     clang_tidy = shutil.which("clang-tidy")
     if not clang_tidy:
@@ -311,6 +360,7 @@ def main():
     parser.add_argument("--check-ratchet", action="store_true")
     parser.add_argument("--run-context", action="store_true")
     parser.add_argument("--span-hygiene", action="store_true")
+    parser.add_argument("--jobs-io", action="store_true")
     parser.add_argument("--tidy", action="store_true")
     args = parser.parse_args()
 
@@ -328,6 +378,8 @@ def main():
         check_run_context(errors)
     if run_all or "span_hygiene" in selected:
         check_span_hygiene(errors)
+    if run_all or "jobs_io" in selected:
+        check_jobs_io(errors)
     if run_all or "tidy" in selected:
         check_tidy(errors)
 
