@@ -73,6 +73,9 @@ class RunContext {
   void SetEvaluationBudget(int64_t max_evaluations) {
     evaluation_budget_ = max_evaluations > 0 ? max_evaluations : 0;
   }
+  // 0 when unlimited. Drivers that run each search unit under a child
+  // context read this to fold the caller's budget into the child's.
+  int64_t evaluation_budget() const { return evaluation_budget_; }
 
   // Thread-safe: may be called from another thread while a search runs;
   // every subsequent ShouldStop() poll reports kCancelled.

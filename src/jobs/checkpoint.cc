@@ -1,5 +1,6 @@
 #include "jobs/checkpoint.h"
 
+#include <cerrno>
 #include <cstring>
 #include <utility>
 
@@ -178,9 +179,18 @@ Status ParseRecordPayload(const uint8_t* data, size_t n, uint32_t num_channels,
 }
 
 Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  errno = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status::NotFound("cannot open checkpoint " + path);
+    // Only a genuinely absent file maps to NotFound. Any other failure
+    // (EACCES, fd exhaustion, a file where a directory was expected) must
+    // surface as an error, so a caller never mistakes an unreadable
+    // checkpoint for a missing one.
+    if (errno == ENOENT) {
+      return Status::NotFound("checkpoint " + path + " does not exist");
+    }
+    return Status::IoError("cannot open checkpoint " + path + ": " +
+                           std::strerror(errno));
   }
   std::vector<uint8_t> bytes;
   uint8_t chunk[65536];
@@ -243,6 +253,84 @@ Status ValidateHeader(ByteReader* in, const std::string& path,
   return Status::Ok();
 }
 
+// Writes `n` bytes to `path` via a temp file and atomic rename, so a crash
+// mid-write never leaves a half-written file under the real name.
+Status WriteFileAtomically(const std::string& path, const uint8_t* data,
+                           size_t n, bool sync) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create checkpoint temp file " + tmp);
+  }
+  const bool wrote = std::fwrite(data, 1, n, f) == n && std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  const bool synced = !sync || fsync(fileno(f)) == 0;
+#else
+  (void)sync;
+  const bool synced = true;
+#endif
+  if (std::fclose(f) != 0 || !wrote || !synced) {
+    return Status::IoError("write of checkpoint bytes to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("atomic rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+// Walks the record log from `in`'s position (just past the header) to EOF.
+// Every complete record must checksum and parse; an incomplete or
+// checksum-failing record at EOF is the torn tail of a crashed append and
+// ends the walk. On success *valid_end is the offset one past the last
+// valid record — bytes [*valid_end, file size) are the torn tail, empty on
+// a clean file. When `out` is non-null the parsed pairs are appended to it,
+// first record per pair winning (per-pair determinism makes any duplicate
+// byte-identical anyway).
+Status WalkRecords(const std::vector<uint8_t>& bytes, ByteReader* in,
+                   const std::string& path, uint32_t num_channels,
+                   std::vector<CheckpointedPair>* out, size_t* valid_end) {
+  std::vector<bool> seen;
+  *valid_end = in->pos();
+  while (in->remaining() > 0) {
+    const size_t record_start = in->pos();
+    uint32_t len = 0;
+    if (!in->GetU32(&len) || len > kMaxRecordPayload ||
+        in->remaining() < len + sizeof(uint64_t)) {
+      break;  // length prefix runs past EOF: torn tail
+    }
+    const uint8_t* payload = bytes.data() + in->pos();
+    uint64_t stored_crc = 0;
+    if (!in->Skip(len) || !in->GetU64(&stored_crc)) break;
+    if (Fnv1a(payload, len) != stored_crc) {
+      if (in->remaining() == 0) {
+        // Checksum failure on the very last record: a partially persisted
+        // append (e.g. power loss without fsync). Tolerated as a torn tail.
+        break;
+      }
+      return Status::IoError("checkpoint " + path +
+                             " record checksum mismatch at byte " +
+                             std::to_string(record_start) +
+                             " (interior corruption)");
+    }
+    CheckpointedPair pair;
+    const Status st = ParseRecordPayload(payload, len, num_channels, &pair);
+    if (!st.ok()) {
+      return Status::IoError("checkpoint " + path + ": " + st.message());
+    }
+    *valid_end = in->pos();
+    if (out == nullptr) continue;
+    const size_t key = static_cast<size_t>(pair.entry.a) * num_channels +
+                       static_cast<size_t>(pair.entry.b);
+    if (seen.empty()) {
+      seen.assign(static_cast<size_t>(num_channels) * num_channels, false);
+    }
+    if (seen[key]) continue;
+    seen[key] = true;
+    out->push_back(std::move(pair));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 uint64_t FingerprintChannels(const std::vector<TimeSeries>& channels) {
@@ -301,82 +389,54 @@ Result<CheckpointData> LoadCheckpoint(const std::string& path) {
   Status st = ValidateHeader(&in, path, &data);
   if (!st.ok()) return st;
 
-  // Record log. Every complete record must checksum; an incomplete record
-  // at EOF is the torn tail of a crashed append and is dropped.
-  std::vector<bool> seen;
-  while (in.remaining() > 0) {
-    const size_t record_start = in.pos();
-    uint32_t len = 0;
-    if (!in.GetU32(&len) || len > kMaxRecordPayload ||
-        in.remaining() < len + sizeof(uint64_t)) {
-      data.dropped_tail_bytes =
-          static_cast<int64_t>(bytes.value().size() - record_start);
-      break;
-    }
-    const uint8_t* payload = bytes.value().data() + in.pos();
-    uint64_t stored_crc = 0;
-    if (!in.Skip(len) || !in.GetU64(&stored_crc)) {
-      data.dropped_tail_bytes =
-          static_cast<int64_t>(bytes.value().size() - record_start);
-      break;
-    }
-    if (Fnv1a(payload, len) != stored_crc) {
-      if (in.remaining() == 0) {
-        // Checksum failure on the very last record: a partially persisted
-        // append (e.g. power loss without fsync). Tolerated as a torn tail.
-        data.dropped_tail_bytes =
-            static_cast<int64_t>(bytes.value().size() - record_start);
-        break;
-      }
-      return Status::IoError("checkpoint " + path +
-                             " record checksum mismatch at byte " +
-                             std::to_string(record_start) +
-                             " (interior corruption)");
-    }
-    CheckpointedPair pair;
-    st = ParseRecordPayload(payload, len, data.num_channels, &pair);
-    if (!st.ok()) {
-      return Status::IoError("checkpoint " + path + ": " + st.message());
-    }
-    // First record for a pair wins; per-pair determinism makes any
-    // duplicate byte-identical anyway.
-    const size_t key = static_cast<size_t>(pair.entry.a) * data.num_channels +
-                       static_cast<size_t>(pair.entry.b);
-    if (seen.empty()) {
-      seen.assign(static_cast<size_t>(data.num_channels) * data.num_channels,
-                  false);
-    }
-    if (seen[key]) continue;
-    seen[key] = true;
-    data.pairs.push_back(std::move(pair));
-  }
+  size_t valid_end = 0;
+  st = WalkRecords(bytes.value(), &in, path, data.num_channels, &data.pairs,
+                   &valid_end);
+  if (!st.ok()) return st;
+  data.dropped_tail_bytes =
+      static_cast<int64_t>(bytes.value().size() - valid_end);
   return data;
 }
 
 Result<CheckpointWriter> CheckpointWriter::Open(const std::string& path,
                                                 const Options& options) {
-  // Existing file: validate its header against ours, then append.
-  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
-    uint8_t header[kHeaderSize];
-    const size_t got = std::fread(header, 1, kHeaderSize, probe);
-    if (std::fclose(probe) != 0) {
-      return Status::IoError("close of checkpoint " + path + " failed");
-    }
-    if (got < kHeaderSize) {
-      return Status::IoError("checkpoint " + path +
-                             " is truncated mid-header; delete it to restart");
-    }
-    ByteReader in(header, kHeaderSize);
-    CheckpointData existing;
-    const Status st = ValidateHeader(&in, path, &existing);
+  Result<std::vector<uint8_t>> existing = ReadFileBytes(path);
+  if (!existing.ok() && existing.status().code() != StatusCode::kNotFound) {
+    // EACCES, fd exhaustion, ...: an unreadable checkpoint must never be
+    // mistaken for an absent one — falling through to the fresh-file path
+    // would rename an empty header over the caller's persisted progress.
+    return existing.status();
+  }
+
+  if (existing.ok()) {
+    // Existing file: validate it against ours, cut any torn tail a crashed
+    // append left behind, then append after the last valid record.
+    const std::vector<uint8_t>& bytes = existing.value();
+    ByteReader in(bytes.data(), bytes.size());
+    CheckpointData data;
+    const Status st = ValidateHeader(&in, path, &data);
     if (!st.ok()) return st;
-    if (existing.config_hash != options.config_hash ||
-        existing.data_fingerprint != options.data_fingerprint ||
-        existing.seed != options.seed) {
+    if (data.config_hash != options.config_hash ||
+        data.data_fingerprint != options.data_fingerprint ||
+        data.seed != options.seed) {
       return Status::InvalidArgument(
           "checkpoint " + path +
           " was written by a different run (params, data, or seed changed); "
           "delete it to start over");
+    }
+    // Appending after a torn tail would turn it into *interior* corruption
+    // on the next load and reject the whole file, so the tail must go
+    // before the first new record — rewritten through the same
+    // temp + rename dance, because the truncation itself has to be
+    // crash-safe (a crash mid-rewrite leaves the original intact).
+    size_t valid_end = 0;
+    const Status walk = WalkRecords(bytes, &in, path, data.num_channels,
+                                    /*out=*/nullptr, &valid_end);
+    if (!walk.ok()) return walk;
+    if (valid_end < bytes.size()) {
+      const Status cut = WriteFileAtomically(path, bytes.data(), valid_end,
+                                             options.fsync_each_record);
+      if (!cut.ok()) return cut;
     }
     std::FILE* f = std::fopen(path.c_str(), "ab");
     if (f == nullptr) {
@@ -386,29 +446,12 @@ Result<CheckpointWriter> CheckpointWriter::Open(const std::string& path,
     return CheckpointWriter(f, options);
   }
 
-  // Fresh file: write the header to a temp file and atomically rename it
-  // into place, so a crash mid-create never leaves a half-written header
-  // under the real name.
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot create checkpoint temp file " + tmp);
-  }
+  // Fresh file: write the header atomically, so a crash mid-create never
+  // leaves a half-written header under the real name.
   const ByteBuffer header = SerializeHeader(options);
-  const bool wrote =
-      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
-      std::fflush(f) == 0;
-#if defined(__unix__) || defined(__APPLE__)
-  const bool synced = !options.fsync_each_record || fsync(fileno(f)) == 0;
-#else
-  const bool synced = true;
-#endif
-  if (std::fclose(f) != 0 || !wrote || !synced) {
-    return Status::IoError("write of checkpoint header to " + tmp + " failed");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("atomic rename " + tmp + " -> " + path + " failed");
-  }
+  const Status st = WriteFileAtomically(path, header.data(), header.size(),
+                                        options.fsync_each_record);
+  if (!st.ok()) return st;
   std::FILE* out = std::fopen(path.c_str(), "ab");
   if (out == nullptr) {
     return Status::IoError("cannot reopen checkpoint " + path +

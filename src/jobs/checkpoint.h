@@ -10,7 +10,10 @@
 //   * a torn *trailing* record (the append that was in flight when the
 //     process died) is detected by its length prefix running past EOF or
 //     its checksum failing, and is silently dropped: the pair simply reruns
-//     on resume;
+//     on resume. Reopening the file for appending first cuts the torn tail
+//     (atomically, via the same write-temp + rename dance used to create
+//     the header), so a new record can never land after the garbage and
+//     turn it into interior corruption on the next load;
 //   * anything else that fails validation — bad magic, unknown version, a
 //     corrupt header, a checksum mismatch on an *interior* record — is real
 //     corruption and rejects the whole file with IoError, never a partial
@@ -96,7 +99,9 @@ class CheckpointWriter {
   // Opens `path` for appending. When the file exists its header must match
   // `options` (config hash, fingerprint, seed) or the open fails with
   // InvalidArgument — a checkpoint never silently absorbs records from a
-  // different run.
+  // different run. A torn trailing record is truncated away before the
+  // first new append; a file that exists but cannot be read fails with
+  // IoError rather than being recreated over the persisted records.
   static Result<CheckpointWriter> Open(const std::string& path,
                                        const Options& options);
 

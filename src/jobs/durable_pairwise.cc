@@ -137,6 +137,8 @@ Result<DurableOutcome> ResumePairwiseSearch(
   static obs::Counter* shed_counter = obs::GetCounter("jobs.pairs_shed");
   static obs::Counter* watchdog_counter =
       obs::GetCounter("jobs.watchdog_timeouts");
+  static obs::Counter* attempts_counter =
+      obs::GetCounter("jobs.pair_attempts");
   static obs::Counter* ckpt_records_counter =
       obs::GetCounter("jobs.checkpoint_records");
   static obs::Counter* ckpt_bytes_counter =
@@ -207,6 +209,7 @@ Result<DurableOutcome> ResumePairwiseSearch(
 
           const auto attempt = [&](int attempt_no) -> Status {
             slot.attempts = attempt_no;
+            attempts_counter->Add(1);
             if (options.faults != nullptr) {
               const FaultClass fc =
                   options.faults->At(td.global_index, attempt_no);
@@ -222,13 +225,24 @@ Result<DurableOutcome> ResumePairwiseSearch(
             if (options.pair_time_slice_s > 0) {
               child.SetDeadlineAfter(options.pair_time_slice_s);
             }
+            // Budget: the tighter of the shed-scaled per-pair budget and
+            // the caller's global budget wins. Parent chaining skips
+            // budgets by design (they count against the poller's own
+            // evaluation counter), so the global one is folded in here —
+            // per pair, exactly as PairwiseSearch applies a budgeted ctx.
+            int64_t budget = 0;
             if (options.pair_evaluation_budget > 0) {
               const double scaled = static_cast<double>(
                                         options.pair_evaluation_budget) *
                                     ShedBudgetScale(level);
-              child.SetEvaluationBudget(
-                  std::max<int64_t>(1, static_cast<int64_t>(scaled)));
+              budget = std::max<int64_t>(1, static_cast<int64_t>(scaled));
             }
+            const int64_t global_budget = ctx.evaluation_budget();
+            if (global_budget > 0) {
+              budget = budget > 0 ? std::min(budget, global_budget)
+                                  : global_budget;
+            }
+            if (budget > 0) child.SetEvaluationBudget(budget);
             Result<PairOutcome> outcome = SearchPair(
                 channels, td.a, td.b, run_params, variant, seed, child);
             if (!outcome.ok()) return outcome.status();

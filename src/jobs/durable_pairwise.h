@@ -57,11 +57,16 @@ struct DurableJobOptions {
 
   // Watchdog: each attempt's deadline, seconds (0 = none). The slice is a
   // child of the global RunContext, so the global deadline still wins. A
-  // pair whose every attempt exceeds its slice is isolated with its
-  // best-so-far partial entry rather than starving the run.
+  // pair whose every attempt exceeds its slice is isolated as a per-pair
+  // failure — recorded in `failures` with no entry — and, being
+  // un-checkpointed, reruns on a later resume rather than starving this
+  // run.
   double pair_time_slice_s = 0.0;
 
   // Per-pair evaluation budget (0 = none); scaled down by the shed ladder.
+  // An evaluation budget set on the global RunContext also applies, per
+  // pair (the tighter of the two wins), exactly as PairwiseSearch applies
+  // a budgeted ctx to each pair's own evaluation counter.
   int64_t pair_evaluation_budget = 0;
 
   // Voluntary pause: stop after this many newly searched pairs (0 =

@@ -52,9 +52,6 @@ Result<PairOutcome> SearchPair(const std::vector<TimeSeries>& channels, int a,
                                TycosVariant variant, uint64_t seed,
                                const RunContext& ctx) {
   TYCOS_SPAN("pairwise_pair");
-  static obs::Counter* pairs_searched =
-      obs::GetCounter("pairwise.pairs_searched");
-  pairs_searched->Add(1);
   PairOutcome out;
   out.entry.a = a;
   out.entry.b = b;
@@ -131,11 +128,18 @@ Result<PairwiseResult> PairwiseSearch(const std::vector<TimeSeries>& channels,
   TycosParams inner = params;
   inner.num_threads = 1;
 
+  // Counted here, once per distinct pair, not in SearchPair: the durable
+  // runner calls SearchPair once per retry attempt, which would inflate a
+  // pairs metric (it has its own jobs.pairs_run / jobs.pair_attempts).
+  static obs::Counter* pairs_searched =
+      obs::GetCounter("pairwise.pairs_searched");
+
   const int threads = static_cast<int>(std::min<int64_t>(
       ThreadPool::ResolveThreadCount(params.num_threads), total_pairs));
   ThreadPool pool(threads - 1);
   const ThreadPool::ForStatus fs = pool.ParallelFor(
       total_pairs, ctx, [&](int64_t p) -> std::optional<StopReason> {
+        pairs_searched->Add(1);
         Slot& slot = slots[static_cast<size_t>(p)];
         const auto [a, b] = pairs[static_cast<size_t>(p)];
         Result<PairOutcome> outcome =

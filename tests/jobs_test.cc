@@ -323,6 +323,83 @@ TEST(CheckpointTest, CorruptLastRecordTreatedAsTornTail) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, OpenCutsTornTailBeforeAppending) {
+  const std::string path = TempCheckpoint("torn_append");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 1, 0.5)).ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 2, 0.25)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes.resize(bytes.size() - 5);  // SIGKILL mid-append of the second record
+  WriteAll(path, bytes);
+  // Reopening for append must truncate the torn tail first; otherwise the
+  // next record lands after the garbage and the tail reads back as
+  // interior corruption, making the checkpoint permanently unloadable.
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    ASSERT_TRUE(writer.value().Append(MakePair(1, 2, 0.75)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().dropped_tail_bytes, 0);
+  ASSERT_EQ(loaded.value().pairs.size(), 2u);
+  EXPECT_EQ(loaded.value().pairs[0].entry.b, 1);
+  EXPECT_EQ(loaded.value().pairs[1].entry.a, 1);
+  EXPECT_EQ(loaded.value().pairs[1].entry.best_score, 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, OpenCutsChecksumFailingTailBeforeAppending) {
+  const std::string path = TempCheckpoint("torn_crc_append");
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 1, 0.5)).ok());
+    ASSERT_TRUE(writer.value().Append(MakePair(0, 2, 0.25)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  std::vector<uint8_t> bytes = ReadAll(path);
+  bytes[bytes.size() - 10] ^= 0x40;  // partial persist of the last record
+  WriteAll(path, bytes);
+  {
+    auto writer = CheckpointWriter::Open(path, WriterOptions());
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    ASSERT_TRUE(writer.value().Append(MakePair(1, 2, 0.75)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  auto loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().dropped_tail_bytes, 0);
+  ASSERT_EQ(loaded.value().pairs.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UnreadablePathIsAnErrorNotRecreated) {
+  // A path whose parent component is a regular file fails to open with
+  // ENOTDIR, not ENOENT. Any such non-absent failure must surface as
+  // IoError — falling through to the fresh-file path would atomically
+  // replace an existing checkpoint with an empty header.
+  const std::string parent = TempCheckpoint("not_a_dir");
+  {
+    auto writer = CheckpointWriter::Open(parent, WriterOptions());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  const std::string nested = parent + "/nested.ckpt";
+  const Status open_st = CheckpointWriter::Open(nested, WriterOptions())
+                             .status();
+  EXPECT_EQ(open_st.code(), StatusCode::kIoError);
+  EXPECT_NE(open_st.message().find("cannot open checkpoint"),
+            std::string::npos);
+  EXPECT_EQ(LoadCheckpoint(nested).status().code(), StatusCode::kIoError);
+  std::remove(parent.c_str());
+}
+
 TEST(CheckpointTest, OpenRejectsMismatchedRun) {
   const std::string path = TempCheckpoint("mismatch");
   {
@@ -915,6 +992,58 @@ TEST(DurablePairwiseTest, PerPairBudgetCheckpointsDeterministicStops) {
   EXPECT_EQ(second.value().stats.pairs_resumed, 3);
   EXPECT_EQ(second.value().stats.pairs_run, 0);
   ExpectBitIdentical(second.value().result, first.value().result);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+// A crash that tears the trailing record must not poison the checkpoint:
+// the resume drops the tail, truncates it away before appending, and still
+// converges on the bit-identical full result.
+TEST(DurablePairwiseTest, ResumesAcrossTornTailFromCrashedAppend) {
+  const auto channels = MakeChannels(1);
+  const PairwiseResult want =
+      PairwiseSearch(channels, Params(), TycosVariant::kLMN, 42);
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("torn_resume");
+  opts.max_pairs_this_run = 2;
+  ASSERT_TRUE(ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN, 42,
+                                   RunContext::None(), opts)
+                  .ok());
+  // "Crash" mid-append of the second record.
+  std::vector<uint8_t> bytes = ReadAll(opts.checkpoint_path);
+  bytes.resize(bytes.size() - 3);
+  WriteAll(opts.checkpoint_path, bytes);
+
+  opts.max_pairs_this_run = 0;
+  const auto resumed = ResumePairwiseSearch(
+      channels, Params(), TycosVariant::kLMN, 42, RunContext::None(), opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed.value().stats.pairs_resumed, 1);
+  EXPECT_EQ(resumed.value().stats.pairs_run, 2);
+  ExpectBitIdentical(resumed.value().result, want);
+  // The file is whole again: every pair present, no torn tail left behind.
+  auto loaded = LoadCheckpoint(opts.checkpoint_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().dropped_tail_bytes, 0);
+  EXPECT_EQ(loaded.value().pairs.size(), 3u);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DurablePairwiseTest, GlobalContextBudgetAppliesPerPair) {
+  const auto channels = MakeChannels(1);
+  // The durable path must honor a budget set on the caller's RunContext the
+  // same way PairwiseSearch does: per pair, against that pair's own
+  // evaluation counter.
+  RunContext plain_ctx = RunContext::WithEvaluationBudget(50);
+  const auto plain = PairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                    42, plain_ctx);
+  ASSERT_TRUE(plain.ok()) << plain.status().message();
+  RunContext durable_ctx = RunContext::WithEvaluationBudget(50);
+  DurableJobOptions opts;
+  opts.checkpoint_path = TempCheckpoint("ctx_budget");
+  const auto r = ResumePairwiseSearch(channels, Params(), TycosVariant::kLMN,
+                                      42, durable_ctx, opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ExpectBitIdentical(r.value().result, plain.value());
   std::remove(opts.checkpoint_path.c_str());
 }
 
